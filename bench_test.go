@@ -1,0 +1,297 @@
+// Package repro's benchmark harness: one benchmark per paper artifact
+// (figures F1–F5, claims E1–E8, as indexed in DESIGN.md) plus
+// micro-benchmarks of the substrates. Each figure/claim benchmark runs the
+// corresponding experiment end to end; `go test -bench . -benchmem` therefore
+// regenerates every table the reproduction reports (see cmd/experiments for
+// the printable output, EXPERIMENTS.md for the recorded results).
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hml"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/rtp"
+	"repro/internal/scenario"
+)
+
+// --- figure benchmarks -------------------------------------------------
+
+func BenchmarkF1GrammarParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.F1Grammar(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF2ScheduleBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.F2Timeline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF3EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.F3EndToEnd(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF4Protocol(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.F4Protocol(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF5StackSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.F5StackSplit(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- claim benchmarks ----------------------------------------------------
+
+func BenchmarkE1TimeWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E1TimeWindow(uint64(i+1), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2SkewControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E2SkewControl(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3QoSGrading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3Grading(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4Combined(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5Admission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5Admission(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Startup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6Startup(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Suspend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7Suspend(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8Search(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Search(uint64(i+1), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9Scale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9Scale(uint64(i+1), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10SharedUplink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10SharedUplink(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks ---------------------------------------------------
+
+func BenchmarkAblationDegradeOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A1DegradeOrder(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHysteresis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A2Hysteresis(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWindowSafety(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A3WindowSafety(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+func BenchmarkHMLParseFigure2(b *testing.B) {
+	src := hml.Figure2Source
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hml.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHMLParseLargeLesson(b *testing.B) {
+	src := hml.LessonSource("bench", 50, 10*time.Second)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hml.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHMLSerialize(b *testing.B) {
+	doc := hml.Figure2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = hml.Serialize(doc)
+	}
+}
+
+func BenchmarkScheduleBuild(b *testing.B) {
+	sc, err := scenario.Parse(hml.LessonSource("bench", 50, 10*time.Second))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sch := scenario.BuildSchedule(sc)
+		if err := sch.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTPMarshalUnmarshal(b *testing.B) {
+	p := &rtp.Packet{
+		Marker: true, PayloadType: rtp.PTMPEG,
+		SequenceNumber: 4242, Timestamp: 1234567, SSRC: 99,
+		Payload: make([]byte, 1400),
+	}
+	b.SetBytes(int64(len(p.Payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Marshal()
+		if _, err := rtp.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTCPReceiverReport(b *testing.B) {
+	r := rtp.NewReceiver(7)
+	at := time.Unix(100, 0)
+	for i := 0; i < 1000; i++ {
+		r.Observe(&rtp.Packet{SequenceNumber: uint16(i), Timestamp: uint32(i) * 3600}, at, time.Time{})
+		at = at.Add(40 * time.Millisecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rr := rtp.ReceiverReport{SSRC: 1, Reports: []rtp.ReceptionReport{r.Report()}}
+		if _, err := rtp.UnmarshalControl(rr.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetsimThroughput(b *testing.B) {
+	clk := clock.NewSim()
+	net := netsim.New(clk, 1)
+	net.SetLink("a", "b", netsim.LinkConfig{Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	got := 0
+	net.Listen("b:1", func(netsim.Packet) { got++ })
+	payload := make([]byte, 1000)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Send(netsim.Packet{From: "a:1", To: "b:1", Payload: payload})
+		if i%1024 == 0 {
+			clk.RunUntilIdle()
+		}
+	}
+	clk.RunUntilIdle()
+}
+
+func BenchmarkBufferPushPop(b *testing.B) {
+	buf := buffer.New(buffer.Config{StreamID: "x", FrameInterval: time.Millisecond, Window: time.Hour, HighWM: time.Hour})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Push(buffer.Item{Frame: media.Frame{Index: i, PTS: time.Duration(i) * time.Millisecond}})
+		buf.Pop()
+	}
+}
+
+func BenchmarkVideoFrameGeneration(b *testing.B) {
+	v := media.NewVideo("bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.FrameAt(i, i%v.Levels())
+	}
+}
+
+func BenchmarkCorePlayFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := core.Play(core.PlayConfig{DocSource: hml.Figure2Source, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Plays() == 0 {
+			b.Fatal("no plays")
+		}
+	}
+}

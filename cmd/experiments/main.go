@@ -1,0 +1,123 @@
+// Command experiments runs the full reproduction harness: every figure
+// (F1–F5) and every evaluated claim (E1–E8) of DESIGN.md, printing the
+// tables that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-seed N] [-quick] [-only F2,E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "shrink parameter sweeps")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. F2,E3); empty = all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(strings.ToUpper(*only), ",") {
+		if id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fail := 0
+	show := func(id string, tb *stats.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", id, err)
+			fail++
+			return
+		}
+		fmt.Println(tb)
+	}
+
+	if sel("F1") {
+		tb, err := experiments.F1Grammar()
+		show("F1", tb, err)
+	}
+	if sel("F2") {
+		chart, tb, err := experiments.F2Timeline()
+		if err == nil {
+			fmt.Println("== F2 — Figure 2 timeline (reconstructed from the markup) ==")
+			fmt.Println(chart)
+		}
+		show("F2", tb, err)
+	}
+	if sel("F3") {
+		tb, _, err := experiments.F3EndToEnd(*seed)
+		show("F3", tb, err)
+	}
+	if sel("F4") {
+		tb, err := experiments.F4Protocol()
+		show("F4", tb, err)
+	}
+	if sel("F5") {
+		tb, _, err := experiments.F5StackSplit(*seed)
+		show("F5", tb, err)
+	}
+	if sel("E1") {
+		tb, err := experiments.E1TimeWindow(*seed, *quick)
+		show("E1", tb, err)
+	}
+	if sel("E2") {
+		tb, err := experiments.E2SkewControl(*seed)
+		show("E2", tb, err)
+	}
+	if sel("E3") {
+		tb, err := experiments.E3Grading(*seed)
+		show("E3", tb, err)
+	}
+	if sel("E4") {
+		tb, err := experiments.E4Combined(*seed)
+		show("E4", tb, err)
+	}
+	if sel("E5") {
+		tb, err := experiments.E5Admission(*seed)
+		show("E5", tb, err)
+	}
+	if sel("E6") {
+		tb, err := experiments.E6Startup(*seed)
+		show("E6", tb, err)
+	}
+	if sel("E7") {
+		tb, err := experiments.E7Suspend(*seed)
+		show("E7", tb, err)
+	}
+	if sel("E8") {
+		tb, err := experiments.E8Search(*seed, *quick)
+		show("E8", tb, err)
+	}
+	if sel("E9") {
+		tb, err := experiments.E9Scale(*seed, *quick)
+		show("E9", tb, err)
+	}
+	if sel("E10") {
+		tb, err := experiments.E10SharedUplink(*seed)
+		show("E10", tb, err)
+	}
+	if sel("A1") {
+		tb, err := experiments.A1DegradeOrder(*seed)
+		show("A1", tb, err)
+	}
+	if sel("A2") {
+		tb, err := experiments.A2Hysteresis(*seed)
+		show("A2", tb, err)
+	}
+	if sel("A3") {
+		tb, err := experiments.A3WindowSafety(*seed)
+		show("A3", tb, err)
+	}
+	if fail > 0 {
+		os.Exit(1)
+	}
+}

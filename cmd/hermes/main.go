@@ -1,0 +1,242 @@
+// Command hermes is the live Hermes browser: an interactive command-line
+// client that connects to hermesd servers over real loopback sockets,
+// browses and plays lessons, and exercises every interactive operation of
+// the service.
+//
+// Usage:
+//
+//	hermes -server hermes-a
+//
+// Commands at the prompt:
+//
+//	subscribe <user> <password> <email>   fill the subscription form
+//	topics                                list this server's lessons
+//	search <token>                        federated content search
+//	get <lesson>                          play a lesson (trace to stdout)
+//	pause | resume | reload               playback control
+//	disable <stream-id>                   stop one media stream
+//	annotate <text...>                    attach a remark
+//	report                                playout quality of the last lesson
+//	history                               documents viewed
+//	state                                 protocol state per server
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/playout"
+	"repro/internal/protocol"
+	"repro/internal/qos"
+	"repro/internal/transport"
+)
+
+func main() {
+	serverName := flag.String("server", "hermes-a", "server host name")
+	user := flag.String("user", "student", "user name")
+	password := flag.String("pass", "pw", "password")
+	hostname := flag.String("name", "browser-1", "this browser's host name")
+	hostmap := flag.String("hosts", "", "host=ip overrides")
+	script := flag.String("script", "", "semicolon-separated commands to run non-interactively")
+	flag.Parse()
+
+	live := transport.NewLive()
+	defer live.Close()
+	if err := live.ParseHostMap(*hostmap); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	c := client.New(*hostname, clock.NewWall(), live, client.Options{
+		User: *user, Password: *password, Class: qos.Standard,
+		AutoFollowLinks: true,
+	})
+
+	fmt.Printf("hermes: connecting to %s as %s...\n", *serverName, *user)
+	c.Connect(*serverName)
+	waitUntil(3*time.Second, func() bool { return c.LastConnect() != nil })
+	lc := c.LastConnect()
+	switch {
+	case lc == nil:
+		fmt.Println("hermes: no answer from server")
+		os.Exit(1)
+	case lc.OK:
+		fmt.Printf("hermes: connected (session %s)\n", lc.SessionID)
+	case lc.NeedSubscription:
+		fmt.Println("hermes: not subscribed — use: subscribe <user> <pass> <email>")
+	default:
+		fmt.Printf("hermes: refused: %s\n", lc.Reason)
+		os.Exit(1)
+	}
+
+	run := func(line string) bool { return execute(c, *serverName, line) }
+	if *script != "" {
+		for _, cmd := range strings.Split(*script, ";") {
+			if !run(strings.TrimSpace(cmd)) {
+				break
+			}
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		if !run(strings.TrimSpace(sc.Text())) {
+			return
+		}
+		fmt.Print("> ")
+	}
+}
+
+func waitUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return cond()
+}
+
+func execute(c *client.Client, serverName, line string) bool {
+	if line == "" {
+		return true
+	}
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "exit":
+		c.Disconnect()
+		time.Sleep(100 * time.Millisecond)
+		return false
+
+	case "subscribe":
+		if len(args) < 3 {
+			fmt.Println("usage: subscribe <user> <password> <email>")
+			return true
+		}
+		c.Subscribe(protocol.SubscriptionForm{
+			User: args[0], Password: args[1], Email: args[2],
+			RealName: args[0], Class: qos.Standard,
+		})
+		waitUntil(2*time.Second, func() bool { return c.LastSubscribe() != nil })
+		if ls := c.LastSubscribe(); ls != nil && ls.OK {
+			fmt.Println("subscribed; reconnecting")
+			c.Connect(serverName)
+			waitUntil(2*time.Second, func() bool { return c.LastConnect() != nil })
+		} else if ls != nil {
+			fmt.Println("refused:", ls.Reason)
+		}
+
+	case "topics":
+		c.RequestTopics()
+		waitUntil(2*time.Second, func() bool { return len(c.Topics()) > 0 })
+		for _, t := range c.Topics() {
+			fmt.Printf("  %-20s %q (%s)\n", t.Name, t.Title, t.Server)
+		}
+
+	case "search":
+		if len(args) == 0 {
+			fmt.Println("usage: search <token>")
+			return true
+		}
+		c.Search(strings.Join(args, " "))
+		waitUntil(4*time.Second, func() bool { _, done := c.SearchResults(); return done })
+		hits, _ := c.SearchResults()
+		if len(hits) == 0 {
+			fmt.Println("  no matches")
+		}
+		for _, h := range hits {
+			fmt.Printf("  %-20s %q on %s\n", h.Name, h.Title, h.Server)
+		}
+
+	case "get":
+		if len(args) == 0 {
+			fmt.Println("usage: get <lesson>")
+			return true
+		}
+		c.RequestDoc(args[0])
+		if !waitUntil(5*time.Second, func() bool { return c.Player() != nil }) {
+			fmt.Println("  no document:", c.LastError())
+			return true
+		}
+		fmt.Println("  playing; 'pause'/'resume' control it, 'report' when done")
+
+	case "pause":
+		c.Pause()
+	case "resume":
+		c.Resume()
+	case "reload":
+		c.Reload()
+	case "disable":
+		if len(args) == 1 {
+			c.DisableMedia(args[0])
+		}
+	case "annotate":
+		c.Annotate(strings.Join(args, " "))
+
+	case "annotations":
+		doc := ""
+		if len(args) > 0 {
+			doc = args[0]
+		}
+		c.RequestAnnotations(doc)
+		waitUntil(2*time.Second, func() bool { return c.Annotations() != nil })
+		if ann := c.Annotations(); ann != nil {
+			fmt.Printf("  remarks on %s:\n", ann.Doc)
+			for _, r := range ann.Records {
+				fmt.Printf("    [%s] %s\n", r.User, r.Text)
+			}
+		}
+
+	case "report":
+		p := c.Player()
+		if p == nil {
+			fmt.Println("  nothing played yet")
+			return true
+		}
+		rep := p.Report()
+		ids := make([]string, 0, len(rep.Streams))
+		for id := range rep.Streams {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			s := rep.Streams[id]
+			fmt.Printf("  %-12s plays %d/%d gaps %d drops %d\n", id, s.Plays, s.Expected, s.Gaps, s.Drops)
+		}
+		fmt.Printf("  startup delay %v, display events %d\n",
+			c.StartupDelay(), len(c.Display().Events()))
+		_ = playout.EvPlay
+
+	case "back":
+		if !c.Back() {
+			fmt.Println("  nowhere to go back to")
+		}
+	case "forward":
+		if !c.Forward() {
+			fmt.Println("  nowhere to go forward to")
+		}
+
+	case "history":
+		for i, h := range c.History() {
+			fmt.Printf("  %d. %s\n", i+1, h)
+		}
+
+	case "state":
+		fmt.Printf("  %s: %s\n", serverName, c.State(serverName))
+
+	default:
+		fmt.Println("unknown command:", cmd)
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+// Command hermesd runs a live Hermes multimedia server over real loopback
+// sockets (TCP for control and stills, UDP for audio/video RTP), serving
+// either a generated course or a directory of .hml lesson files.
+//
+// Usage:
+//
+//	hermesd -name hermes-a                      # serve a generated course
+//	hermesd -name hermes-a -lessons ./lessons   # serve *.hml from a directory
+//	hermesd -name hermes-a -peers hermes-b      # federate search
+//
+// Users subscribe in-band via the browser, or a test user "student"/"pw"
+// can be pre-created with -testuser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/hermes"
+	"repro/internal/qos"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "hermes-a", "server host name")
+	lessonsDir := flag.String("lessons", "", "directory of .hml lesson files (empty = generated course)")
+	course := flag.String("course", "algorithms", "generated course name")
+	units := flag.Int("units", 3, "generated course units")
+	capacity := flag.Float64("capacity", 50_000_000, "admission capacity (bits/s)")
+	grace := flag.Duration("grace", 30*time.Second, "suspended-connection grace period")
+	peers := flag.String("peers", "", "comma-separated peer server names for federated search")
+	hostmap := flag.String("hosts", "", "host=ip overrides (host=127.0.0.5,...)")
+	testuser := flag.Bool("testuser", true, "pre-subscribe user student/pw")
+	flag.Parse()
+
+	live := transport.NewLive()
+	defer live.Close()
+	if err := live.ParseHostMap(*hostmap); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	users := auth.NewDB()
+	if *testuser {
+		users.Subscribe(auth.User{
+			Name: "student", Password: "pw", RealName: "Test Student",
+			Email: "student@example.gr", Class: qos.Standard,
+		}, time.Now())
+	}
+
+	db := server.NewDatabase()
+	if *lessonsDir != "" {
+		files, err := filepath.Glob(filepath.Join(*lessonsDir, "*.hml"))
+		if err != nil || len(files) == 0 {
+			fmt.Fprintf(os.Stderr, "hermesd: no lessons in %s\n", *lessonsDir)
+			os.Exit(2)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hermesd:", err)
+				os.Exit(2)
+			}
+			lessonName := strings.TrimSuffix(filepath.Base(f), ".hml")
+			if err := db.Put(lessonName, string(data), f); err != nil {
+				fmt.Fprintf(os.Stderr, "hermesd: %s: %v\n", f, err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, l := range hermes.MakeCourse(*course, *units, 3, 10*time.Second) {
+			if err := db.Put(l.Name, l.Source, l.Description); err != nil {
+				fmt.Fprintln(os.Stderr, "hermesd:", err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	srv := server.New(*name, clock.NewWall(), live, users, db, server.Options{
+		Capacity: *capacity,
+		Grace:    *grace,
+	})
+	if *peers != "" {
+		srv.SetPeers(strings.Split(*peers, ","))
+	}
+	fmt.Printf("hermesd: serving %d lessons as %q (control %s:%d)\n",
+		db.Len(), *name, *name, server.ControlPort)
+	for _, n := range db.Names() {
+		fmt.Printf("  - %s\n", n)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("hermesd: shutting down")
+}

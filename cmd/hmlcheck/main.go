@@ -1,0 +1,114 @@
+// Command hmlcheck parses and validates hypermedia markup language (HML)
+// documents, optionally printing the canonical serialization, the document
+// statistics and the reconstructed playout timeline.
+//
+// Usage:
+//
+//	hmlcheck [-print] [-stats] [-timeline] [file.hml ...]
+//
+// With no files it reads standard input. The bundled Figure 2 scenario can
+// be checked with -figure2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/hml"
+	"repro/internal/scenario"
+)
+
+func main() {
+	printCanon := flag.Bool("print", false, "print the canonical serialization")
+	showStats := flag.Bool("stats", false, "print document statistics")
+	timeline := flag.Bool("timeline", false, "print the playout timeline")
+	screen := flag.String("screen", "", "render the desktop layout at the given time (e.g. 3s)")
+	conflicts := flag.Bool("conflicts", false, "report overlapping simultaneous placements")
+	figure2 := flag.Bool("figure2", false, "check the bundled Figure 2 scenario")
+	flag.Parse()
+
+	type input struct {
+		name string
+		src  string
+	}
+	var inputs []input
+	if *figure2 {
+		inputs = append(inputs, input{"figure2", hml.Figure2Source})
+	}
+	for _, f := range flag.Args() {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmlcheck: %v\n", err)
+			os.Exit(2)
+		}
+		inputs = append(inputs, input{f, string(data)})
+	}
+	if len(inputs) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmlcheck: stdin: %v\n", err)
+			os.Exit(2)
+		}
+		inputs = append(inputs, input{"<stdin>", string(data)})
+	}
+
+	bad := 0
+	for _, in := range inputs {
+		doc, err := hml.Parse(in.src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: PARSE ERROR: %v\n", in.name, err)
+			bad++
+			continue
+		}
+		doc.Name = in.name
+		if err := hml.Validate(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", in.name, err)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: ok — %q, length %s\n", in.name, doc.Title, doc.Length())
+		if *showStats {
+			st := hml.Statistics(doc)
+			fmt.Printf("  sentences=%d headings=%d texts=%d images=%d audios=%d videos=%d sync-groups=%d links=%d (timed %d)\n",
+				st.Sentences, st.Headings, st.Texts, st.Images, st.Audios, st.Videos, st.SyncGroups, st.Links, st.TimedLinks)
+		}
+		if *timeline {
+			sc, err := scenario.FromDocument(doc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", in.name, err)
+				bad++
+				continue
+			}
+			fmt.Print(scenario.RenderTimeline(sc, 64))
+		}
+		if *screen != "" || *conflicts {
+			l, err := hml.BuildLayout(doc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: layout: %v\n", in.name, err)
+				bad++
+				continue
+			}
+			if *conflicts {
+				for _, c := range l.Conflicts() {
+					fmt.Printf("  layout conflict: %s overlaps %s from t=%s\n", c.A, c.B, hml.FormatTime(c.From))
+				}
+			}
+			if *screen != "" {
+				at, err := hml.ParseTime(*screen)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "hmlcheck:", err)
+					os.Exit(2)
+				}
+				fmt.Print(l.RenderScreen(at, 72, 18))
+			}
+		}
+		if *printCanon {
+			fmt.Print(hml.Serialize(doc))
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

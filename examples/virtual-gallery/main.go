@@ -1,0 +1,97 @@
+// Virtual gallery: a remote-access gallery tour — one of the application
+// domains the paper's introduction motivates. Each room is a hypermedia
+// document showing exhibit images with a synchronized audio guide; timed
+// sequential hyperlinks walk the visitor from room to room automatically,
+// while explorational links offer detours.
+//
+// Run with: go run ./examples/virtual-gallery
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/hermes"
+	"repro/internal/playout"
+	"repro/internal/qos"
+)
+
+func room(name, title string, next string, exhibits int) hermes.LessonSpec {
+	src := fmt.Sprintf("<TITLE>%s</TITLE>\n<H1>%s</H1>\n<PAR>\n", title, title)
+	src += "<TEXT>Walk slowly; the audio guide follows the exhibits.</TEXT>\n"
+	per := 6 * time.Second
+	for i := 0; i < exhibits; i++ {
+		if i == 0 {
+			src += fmt.Sprintf("<IMG SOURCE=img/%s-%d ID=%s-img%d STARTIME=0 DURATION=%d WIDTH=800 HEIGHT=600 NOTE=\"exhibit 1\"> </IMG>\n",
+				name, i, name, i, int(per.Seconds()))
+			continue
+		}
+		// Relative timing: each exhibit follows the previous one (the
+		// AFTER extension), so re-pacing a room means editing one number.
+		src += fmt.Sprintf("<IMG SOURCE=img/%s-%d ID=%s-img%d AFTER=%s-img%d DURATION=%d WIDTH=800 HEIGHT=600 NOTE=\"exhibit %d\"> </IMG>\n",
+			name, i, name, i, name, i-1, int(per.Seconds()), i+1)
+	}
+	// One continuous audio-guide track for the whole room.
+	src += fmt.Sprintf("<AU SOURCE=au/%s-guide ID=%s-guide STARTIME=0 DURATION=%d> </AU>\n",
+		name, name, exhibits*int(per.Seconds()))
+	if next != "" {
+		src += fmt.Sprintf("<SEP>\n<HLINK HREF=%s AT=%d KIND=SEQ NOTE=\"next room\"> </HLINK>\n",
+			next, exhibits*int(per.Seconds()))
+	}
+	return hermes.LessonSpec{Name: name, Source: src, Description: title}
+}
+
+func main() {
+	svc, err := hermes.NewSimulated(hermes.Config{
+		Seed: 11,
+		Servers: []hermes.ServerSpec{{
+			Name: "gallery",
+			Lessons: []hermes.LessonSpec{
+				room("entrance", "Entrance hall — classical sculpture", "impressionists", 2),
+				room("impressionists", "Impressionist wing", "modern", 2),
+				room("modern", "Modern art wing", "", 2),
+			},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Enroll("visitor", "ticket", qos.Economy)
+
+	b := svc.NewBrowser("visitor", "ticket", client.Options{AutoFollowLinks: true})
+	b.Connect("gallery")
+	svc.Run(time.Second)
+	fmt.Println("entering the gallery...")
+	b.RequestDoc("entrance")
+
+	// The tour advances by itself: entrance (12s) → impressionists (12s)
+	// → modern (12s).
+	svc.Run(50 * time.Second)
+
+	fmt.Println("\nrooms visited, in order:")
+	for i, roomName := range b.History() {
+		fmt.Printf("  %d. %s\n", i+1, roomName)
+	}
+
+	fmt.Println("\nexhibits shown in the last room:")
+	for _, ev := range b.Display().Events() {
+		if ev.Kind == playout.EvPlay && strings.Contains(ev.StreamID, "-img") {
+			fmt.Printf("  t=%-5v %s (%d bytes at %q quality)\n",
+				ev.At.Round(time.Second), ev.StreamID, ev.Frame.Size, levelName(ev.Frame.Level))
+		}
+	}
+	rep := b.Player().Report()
+	guide := rep.Streams["modern-guide"]
+	fmt.Printf("\naudio guide in the modern wing: %d/%d blocks played, %d gaps\n",
+		guide.Plays, guide.Expected, guide.Gaps)
+}
+
+func levelName(l int) string {
+	if l == 0 {
+		return "full"
+	}
+	return fmt.Sprintf("reduced-%d", l)
+}

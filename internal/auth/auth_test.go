@@ -1,0 +1,135 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/qos"
+)
+
+var t0 = time.Date(1996, 8, 6, 9, 0, 0, 0, time.UTC)
+
+func form(name string) User {
+	return User{
+		Name: name, Password: "pw", RealName: "Real " + name,
+		Address: "Rio, Patras", Email: name + "@example.gr", Phone: "061-123456",
+		Class: qos.Standard,
+	}
+}
+
+func TestSubscribeAndAuthenticate(t *testing.T) {
+	db := NewDB()
+	if err := db.Subscribe(form("alice"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Known("alice") || db.Known("bob") {
+		t.Fatal("Known wrong")
+	}
+	u, err := db.Authenticate("alice", "pw", t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Class != qos.Standard || u.SubscribedAt != t0 {
+		t.Fatalf("user = %+v", u)
+	}
+	if db.Users() != 1 {
+		t.Fatalf("users = %d", db.Users())
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	db := NewDB()
+	bad := form("x")
+	bad.Email = ""
+	if err := db.Subscribe(bad, t0); !errors.Is(err, ErrorIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+	db.Subscribe(form("x"), t0)
+	if err := db.Subscribe(form("x"), t0); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup err = %v", err)
+	}
+}
+
+func TestAuthenticateFailures(t *testing.T) {
+	db := NewDB()
+	db.Subscribe(form("alice"), t0)
+	if _, err := db.Authenticate("bob", "pw", t0); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := db.Authenticate("alice", "wrong", t0); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("err = %v", err)
+	}
+	// Both failures logged as denied.
+	denied := 0
+	for _, e := range db.AccessLog("") {
+		if e.Kind == AccessDenied {
+			denied++
+		}
+	}
+	if denied != 2 {
+		t.Fatalf("denied = %d", denied)
+	}
+}
+
+func TestAccessLogCapture(t *testing.T) {
+	db := NewDB()
+	db.Subscribe(form("alice"), t0)
+	db.Authenticate("alice", "pw", t0)
+	db.LogRetrieval("alice", "lesson-1", t0.Add(time.Minute))
+	db.LogRetrieval("alice", "lesson-2", t0.Add(2*time.Minute))
+	db.LogLogout("alice", t0.Add(3*time.Minute))
+	log := db.AccessLog("alice")
+	if len(log) != 4 {
+		t.Fatalf("log = %d entries", len(log))
+	}
+	kinds := []AccessKind{AccessLogin, AccessRetrieve, AccessRetrieve, AccessLogout}
+	for i, k := range kinds {
+		if log[i].Kind != k {
+			t.Fatalf("entry %d = %v, want %v", i, log[i].Kind, k)
+		}
+	}
+	if log[1].Detail != "lesson-1" {
+		t.Fatalf("detail = %q", log[1].Detail)
+	}
+	if len(db.AccessLog("nobody")) != 0 {
+		t.Fatal("phantom log")
+	}
+}
+
+func TestPricingByClassAndDuration(t *testing.T) {
+	db := NewDB()
+	eco, prem := form("eco"), form("prem")
+	eco.Class, prem.Class = qos.Economy, qos.Premium
+	db.Subscribe(eco, t0)
+	db.Subscribe(prem, t0)
+	ae, err := db.ChargeSession("eco", 100*time.Second, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := db.ChargeSession("prem", 100*time.Second, t0)
+	if ae != 100 || ap != 500 {
+		t.Fatalf("charges = %v / %v", ae, ap)
+	}
+	db.ChargeSession("prem", 10*time.Second, t0)
+	if db.Balance("prem") != 550 {
+		t.Fatalf("balance = %v", db.Balance("prem"))
+	}
+	if _, err := db.ChargeSession("ghost", time.Second, t0); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("ghost charge err = %v", err)
+	}
+	if db.Balance("ghost") != 0 {
+		t.Fatal("ghost balance")
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	for k := AccessLogin; k <= AccessDenied; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if AccessKind(99).String() != "unknown" {
+		t.Fatal("out of range")
+	}
+}

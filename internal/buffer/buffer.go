@@ -1,0 +1,351 @@
+// Package buffer implements the client-side buffering layer of the paper: a
+// "multiple thread queue" with one thread (Buffer) per established media
+// connection, each sized by its media time window, with occupancy watermarks
+// driving the short-term synchronization actions (frame dropping and
+// duplication) described in §4 and in Little & Kao's intermedia skew control
+// scheme [LIT 92].
+package buffer
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/media"
+)
+
+// Item is one buffered access unit with its arrival metadata.
+type Item struct {
+	Frame media.Frame
+	// ArrivedAt is the local arrival time.
+	ArrivedAt time.Time
+	// Payload carries the frame data (may be nil in simulations that
+	// track sizes only).
+	Payload []byte
+}
+
+// Stats aggregates a buffer's lifetime counters.
+type Stats struct {
+	// Pushed counts frames accepted into the buffer.
+	Pushed int
+	// Popped counts frames handed to the playout process.
+	Popped int
+	// Underflows counts Pop calls that found the buffer empty.
+	Underflows int
+	// Overflows counts Push calls that found occupancy above the high
+	// watermark.
+	Overflows int
+	// Dropped counts frames discarded by skew/watermark control.
+	Dropped int
+	// Duplicated counts frames replayed to conceal gaps.
+	Duplicated int
+	// Stale counts frames discarded on arrival because playout had
+	// already passed their PTS.
+	Stale int
+}
+
+// Buffer is one media stream's receive queue, ordered by PTS. It is safe
+// for concurrent use (the real client pushes from a network goroutine while
+// the playout process pops).
+type Buffer struct {
+	mu sync.Mutex
+
+	// StreamID names the owning stream.
+	StreamID string
+	// FrameInterval is the nominal inter-frame spacing, used to convert
+	// queue length to playback time.
+	FrameInterval time.Duration
+
+	// Window is the media time window: the target amount of buffered
+	// playback time established by the deliberate initial delay.
+	Window time.Duration
+	// LowWM and HighWM are the occupancy watermarks (playback time).
+	LowWM, HighWM time.Duration
+
+	items []Item
+	// floor is the PTS below which arriving frames are stale (playout
+	// has moved past them).
+	floor time.Duration
+	// last holds the most recently popped item for duplication.
+	last    Item
+	hasLast bool
+	stats   Stats
+}
+
+// Config parameterizes a buffer.
+type Config struct {
+	StreamID      string
+	FrameInterval time.Duration
+	Window        time.Duration
+	// LowWM/HighWM default to Window/4 and 2×Window.
+	LowWM, HighWM time.Duration
+}
+
+// New creates a buffer.
+func New(cfg Config) *Buffer {
+	if cfg.FrameInterval <= 0 {
+		cfg.FrameInterval = 40 * time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	if cfg.LowWM <= 0 {
+		cfg.LowWM = cfg.Window / 4
+	}
+	if cfg.HighWM <= 0 {
+		cfg.HighWM = 2 * cfg.Window
+	}
+	return &Buffer{
+		StreamID:      cfg.StreamID,
+		FrameInterval: cfg.FrameInterval,
+		Window:        cfg.Window,
+		LowWM:         cfg.LowWM,
+		HighWM:        cfg.HighWM,
+	}
+}
+
+// ComputeWindow performs the paper's "statistical calculation at the
+// buffer's setup time": the window must cover the expected delay variation
+// with a safety factor, and hold at least a few frames.
+//
+//	window = max(4 × frameInterval, safety × jitterBound + frameInterval)
+func ComputeWindow(frameInterval, jitterBound time.Duration, safety float64) time.Duration {
+	if safety <= 0 {
+		safety = 2
+	}
+	w := time.Duration(float64(jitterBound)*safety) + frameInterval
+	if min := 4 * frameInterval; w < min {
+		w = min
+	}
+	return w
+}
+
+// Push inserts a frame in PTS order. Frames whose PTS playout has already
+// passed are dropped as stale. It reports whether the frame was accepted,
+// and whether occupancy now exceeds the high watermark (overflow signal for
+// the monitor).
+func (b *Buffer) Push(it Item) (accepted, overflow bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if it.Frame.PTS < b.floor {
+		b.stats.Stale++
+		return false, false
+	}
+	// Insert keeping PTS order (arrivals may be reordered by the network).
+	i := sort.Search(len(b.items), func(i int) bool { return b.items[i].Frame.PTS > it.Frame.PTS })
+	b.items = append(b.items, Item{})
+	copy(b.items[i+1:], b.items[i:])
+	b.items[i] = it
+	b.stats.Pushed++
+	if b.occupancyLocked() > b.HighWM {
+		b.stats.Overflows++
+		return true, true
+	}
+	return true, false
+}
+
+// Pop removes and returns the earliest frame. When the buffer is empty it
+// returns the last played frame as a duplicate (ok=false, dup counted) —
+// the paper's gap-concealment action — or a zero Item when nothing was ever
+// played.
+func (b *Buffer) Pop() (Item, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		b.stats.Underflows++
+		if b.hasLast {
+			b.stats.Duplicated++
+			return b.last, false
+		}
+		return Item{}, false
+	}
+	it := b.items[0]
+	b.items = b.items[1:]
+	b.stats.Popped++
+	b.last = it
+	b.hasLast = true
+	if pts := it.Frame.PTS + b.FrameInterval; pts > b.floor {
+		b.floor = pts
+	}
+	return it, true
+}
+
+// PopDue removes and returns the earliest frame only if its PTS is due
+// (≤ maxPTS). When the buffer is empty or its head is a future frame — the
+// expected frame is missing or late — it behaves like an underflow: the last
+// played frame is returned as a concealment duplicate (ok=false).
+func (b *Buffer) PopDue(maxPTS time.Duration) (Item, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 || b.items[0].Frame.PTS > maxPTS {
+		b.stats.Underflows++
+		if b.hasLast {
+			b.stats.Duplicated++
+			return b.last, false
+		}
+		return Item{}, false
+	}
+	it := b.items[0]
+	b.items = b.items[1:]
+	b.stats.Popped++
+	b.last = it
+	b.hasLast = true
+	if pts := it.Frame.PTS + b.FrameInterval; pts > b.floor {
+		b.floor = pts
+	}
+	return it, true
+}
+
+// Peek returns the earliest frame without removing it.
+func (b *Buffer) Peek() (Item, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return Item{}, false
+	}
+	return b.items[0], true
+}
+
+// Drop discards up to n earliest frames (skew-control action on a leading
+// or over-full stream) and returns how many were discarded and the PTS
+// floor after the drop.
+func (b *Buffer) Drop(n int) (dropped int, newFloor time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for dropped < n && len(b.items) > 0 {
+		it := b.items[0]
+		b.items = b.items[1:]
+		dropped++
+		b.stats.Dropped++
+		if pts := it.Frame.PTS + b.FrameInterval; pts > b.floor {
+			b.floor = pts
+		}
+	}
+	return dropped, b.floor
+}
+
+// DropBefore discards up to max earliest frames whose PTS is strictly below
+// pts — the stale backlog behind the playout position. Unlike Drop it never
+// touches future frames, so the monitor can trim accumulated lateness
+// without starving upcoming playout slots.
+func (b *Buffer) DropBefore(pts time.Duration, max int) (dropped int, newFloor time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for dropped < max && len(b.items) > 0 && b.items[0].Frame.PTS < pts {
+		it := b.items[0]
+		b.items = b.items[1:]
+		dropped++
+		b.stats.Dropped++
+		if f := it.Frame.PTS + b.FrameInterval; f > b.floor {
+			b.floor = f
+		}
+	}
+	return dropped, b.floor
+}
+
+// Len returns the queued frame count.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// Occupancy returns the buffered playback time: queued frames × interval.
+func (b *Buffer) Occupancy() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.occupancyLocked()
+}
+
+func (b *Buffer) occupancyLocked() time.Duration {
+	return time.Duration(len(b.items)) * b.FrameInterval
+}
+
+// BelowLow reports occupancy under the low watermark.
+func (b *Buffer) BelowLow() bool { return b.Occupancy() < b.LowWM }
+
+// AboveHigh reports occupancy over the high watermark.
+func (b *Buffer) AboveHigh() bool { return b.Occupancy() > b.HighWM }
+
+// Filled reports whether the buffer holds at least its media time window of
+// data — the presentation-start criterion after the deliberate initial
+// delay.
+func (b *Buffer) Filled() bool { return b.Occupancy() >= b.Window }
+
+// Floor returns the PTS below which arrivals are stale.
+func (b *Buffer) Floor() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.floor
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Buffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Reset empties the buffer and clears the stale floor (used on reload and
+// on resume after long pauses).
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.items = nil
+	b.floor = 0
+	b.hasLast = false
+	b.last = Item{}
+}
+
+// Set is the client's collection of per-stream buffers — the "multiple
+// thread queue" of the paper, one thread per media connection.
+type Set struct {
+	mu   sync.Mutex
+	bufs map[string]*Buffer
+}
+
+// NewSet creates an empty buffer set.
+func NewSet() *Set { return &Set{bufs: map[string]*Buffer{}} }
+
+// Create adds a buffer for a stream, replacing any previous one.
+func (s *Set) Create(cfg Config) *Buffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := New(cfg)
+	s.bufs[cfg.StreamID] = b
+	return b
+}
+
+// Get returns the stream's buffer, or nil.
+func (s *Set) Get(id string) *Buffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bufs[id]
+}
+
+// All returns the buffers in deterministic (stream id) order.
+func (s *Set) All() []*Buffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.bufs))
+	for id := range s.bufs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Buffer, len(ids))
+	for i, id := range ids {
+		out[i] = s.bufs[id]
+	}
+	return out
+}
+
+// AllFilled reports whether every buffer holds its media time window (or is
+// empty-windowed). Used to end the initial delay.
+func (s *Set) AllFilled() bool {
+	for _, b := range s.All() {
+		if !b.Filled() {
+			return false
+		}
+	}
+	return true
+}

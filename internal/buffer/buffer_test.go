@@ -1,0 +1,369 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/media"
+)
+
+func frame(i int, interval time.Duration) Item {
+	return Item{Frame: media.Frame{Index: i, PTS: time.Duration(i) * interval, Size: 100}}
+}
+
+func newBuf() *Buffer {
+	return New(Config{StreamID: "s", FrameInterval: 40 * time.Millisecond, Window: 400 * time.Millisecond})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	b := New(Config{StreamID: "x"})
+	if b.FrameInterval != 40*time.Millisecond || b.Window != time.Second {
+		t.Fatalf("defaults: %v %v", b.FrameInterval, b.Window)
+	}
+	if b.LowWM != b.Window/4 || b.HighWM != 2*b.Window {
+		t.Fatalf("watermarks: %v %v", b.LowWM, b.HighWM)
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	b := newBuf()
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Push(frame(i, b.FrameInterval)); !ok {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		it, ok := b.Pop()
+		if !ok || it.Frame.Index != i {
+			t.Fatalf("pop %d = %+v ok=%v", i, it.Frame, ok)
+		}
+	}
+	st := b.Stats()
+	if st.Pushed != 5 || st.Popped != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPushReordersByPTS(t *testing.T) {
+	b := newBuf()
+	for _, i := range []int{3, 0, 2, 1} {
+		b.Push(frame(i, b.FrameInterval))
+	}
+	for i := 0; i < 4; i++ {
+		it, _ := b.Pop()
+		if it.Frame.Index != i {
+			t.Fatalf("order broken at %d: got %d", i, it.Frame.Index)
+		}
+	}
+}
+
+func TestPopEmptyDuplicatesLast(t *testing.T) {
+	b := newBuf()
+	// Nothing ever played: zero item, no dup.
+	it, ok := b.Pop()
+	if ok || it.Payload != nil {
+		t.Fatalf("empty pop = %+v", it)
+	}
+	if b.Stats().Underflows != 1 || b.Stats().Duplicated != 0 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+	b.Push(frame(0, b.FrameInterval))
+	b.Pop()
+	dup, ok := b.Pop()
+	if ok || dup.Frame.Index != 0 {
+		t.Fatalf("dup = %+v ok=%v", dup.Frame, ok)
+	}
+	st := b.Stats()
+	if st.Duplicated != 1 || st.Underflows != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStaleRejection(t *testing.T) {
+	b := newBuf()
+	b.Push(frame(2, b.FrameInterval))
+	b.Pop() // floor moves to PTS(2)+interval = 120ms
+	if ok, _ := b.Push(frame(1, b.FrameInterval)); ok {
+		t.Fatal("stale frame accepted")
+	}
+	if b.Stats().Stale != 1 {
+		t.Fatalf("stale = %d", b.Stats().Stale)
+	}
+	// Frame at the floor boundary is accepted.
+	if ok, _ := b.Push(frame(3, b.FrameInterval)); !ok {
+		t.Fatal("fresh frame rejected")
+	}
+}
+
+func TestOverflowSignal(t *testing.T) {
+	b := New(Config{StreamID: "s", FrameInterval: 40 * time.Millisecond, Window: 200 * time.Millisecond, HighWM: 200 * time.Millisecond})
+	overflowAt := -1
+	for i := 0; i < 10; i++ {
+		_, over := b.Push(frame(i, b.FrameInterval))
+		if over && overflowAt < 0 {
+			overflowAt = i
+		}
+	}
+	// High WM 200ms = 5 frames; the 6th push crosses it.
+	if overflowAt != 5 {
+		t.Fatalf("overflow at push %d, want 5", overflowAt)
+	}
+	if !b.AboveHigh() {
+		t.Fatal("AboveHigh false")
+	}
+}
+
+func TestDropAdvancesFloor(t *testing.T) {
+	b := newBuf()
+	for i := 0; i < 6; i++ {
+		b.Push(frame(i, b.FrameInterval))
+	}
+	n, floor := b.Drop(3)
+	if n != 3 {
+		t.Fatalf("dropped %d", n)
+	}
+	if want := 3 * b.FrameInterval; floor != want {
+		t.Fatalf("floor = %v, want %v", floor, want)
+	}
+	it, _ := b.Pop()
+	if it.Frame.Index != 3 {
+		t.Fatalf("after drop, head = %d", it.Frame.Index)
+	}
+	// Drop more than queued.
+	n, _ = b.Drop(100)
+	if n != 2 {
+		t.Fatalf("over-drop = %d, want 2", n)
+	}
+	if b.Stats().Dropped != 5 {
+		t.Fatalf("dropped stat = %d", b.Stats().Dropped)
+	}
+}
+
+func TestOccupancyAndWatermarks(t *testing.T) {
+	b := newBuf() // window 400ms, low 100ms, high 800ms
+	if !b.BelowLow() || b.Filled() {
+		t.Fatal("empty buffer state wrong")
+	}
+	for i := 0; i < 10; i++ { // 400ms
+		b.Push(frame(i, b.FrameInterval))
+	}
+	if b.Occupancy() != 400*time.Millisecond {
+		t.Fatalf("occupancy = %v", b.Occupancy())
+	}
+	if b.BelowLow() || !b.Filled() || b.AboveHigh() {
+		t.Fatal("filled state wrong")
+	}
+	for i := 10; i < 25; i++ { // 1000ms total
+		b.Push(frame(i, b.FrameInterval))
+	}
+	if !b.AboveHigh() {
+		t.Fatal("high watermark not detected")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	b := newBuf()
+	if _, ok := b.Peek(); ok {
+		t.Fatal("peek on empty")
+	}
+	b.Push(frame(0, b.FrameInterval))
+	it, ok := b.Peek()
+	if !ok || it.Frame.Index != 0 || b.Len() != 1 {
+		t.Fatal("peek consumed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := newBuf()
+	b.Push(frame(0, b.FrameInterval))
+	b.Pop()
+	b.Push(frame(5, b.FrameInterval))
+	b.Reset()
+	if b.Len() != 0 || b.Floor() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// After reset, even "old" frames are accepted again.
+	if ok, _ := b.Push(frame(0, b.FrameInterval)); !ok {
+		t.Fatal("post-reset push rejected")
+	}
+	// And no duplicate of the pre-reset last frame lingers.
+	b.Pop()
+	if it, ok := b.Pop(); ok || it.Frame.Index != 0 {
+		t.Fatalf("post-reset dup = %+v ok=%v", it.Frame, ok)
+	}
+}
+
+func TestComputeWindow(t *testing.T) {
+	fi := 40 * time.Millisecond
+	// Low jitter: floor of 4 frames.
+	if w := ComputeWindow(fi, 10*time.Millisecond, 2); w != 160*time.Millisecond {
+		t.Fatalf("low-jitter window = %v", w)
+	}
+	// High jitter dominates: 2×200 + 40 = 440ms.
+	if w := ComputeWindow(fi, 200*time.Millisecond, 2); w != 440*time.Millisecond {
+		t.Fatalf("high-jitter window = %v", w)
+	}
+	// Default safety.
+	if w := ComputeWindow(fi, 200*time.Millisecond, 0); w != 440*time.Millisecond {
+		t.Fatalf("default-safety window = %v", w)
+	}
+	// Window grows with jitter.
+	last := time.Duration(0)
+	for j := time.Duration(0); j <= 500*time.Millisecond; j += 50 * time.Millisecond {
+		w := ComputeWindow(fi, j, 2)
+		if w < last {
+			t.Fatal("window not monotone in jitter")
+		}
+		last = w
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet()
+	b1 := s.Create(Config{StreamID: "a", FrameInterval: 40 * time.Millisecond, Window: 80 * time.Millisecond})
+	s.Create(Config{StreamID: "b", FrameInterval: 20 * time.Millisecond, Window: 40 * time.Millisecond})
+	if s.Get("a") != b1 || s.Get("zz") != nil {
+		t.Fatal("Get wrong")
+	}
+	all := s.All()
+	if len(all) != 2 || all[0].StreamID != "a" || all[1].StreamID != "b" {
+		t.Fatalf("All = %v", all)
+	}
+	if s.AllFilled() {
+		t.Fatal("empty set reported filled")
+	}
+	for i := 0; i < 2; i++ {
+		b1.Push(frame(i, b1.FrameInterval))
+	}
+	if s.AllFilled() {
+		t.Fatal("b not filled yet")
+	}
+	b2 := s.Get("b")
+	for i := 0; i < 2; i++ {
+		b2.Push(frame(i, b2.FrameInterval))
+	}
+	if !s.AllFilled() {
+		t.Fatal("set should be filled")
+	}
+}
+
+// Property: pops always come out in non-decreasing PTS order regardless of
+// push order, and counters balance.
+func TestQuickPopOrderAndConservation(t *testing.T) {
+	f := func(indices []uint8) bool {
+		b := New(Config{StreamID: "q", FrameInterval: time.Millisecond, Window: time.Hour, HighWM: time.Hour})
+		pushed := 0
+		for _, i := range indices {
+			if ok, _ := b.Push(frame(int(i), time.Millisecond)); ok {
+				pushed++
+			}
+		}
+		last := time.Duration(-1)
+		popped := 0
+		for {
+			it, ok := b.Pop()
+			if !ok {
+				break
+			}
+			if it.Frame.PTS < last {
+				return false
+			}
+			last = it.Frame.PTS
+			popped++
+		}
+		st := b.Stats()
+		return popped == pushed && st.Pushed == pushed && st.Popped == popped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Drop(k) the head PTS is ≥ the floor.
+func TestQuickDropFloorInvariant(t *testing.T) {
+	f := func(n, k uint8) bool {
+		b := New(Config{StreamID: "q", FrameInterval: time.Millisecond, Window: time.Hour, HighWM: time.Hour})
+		for i := 0; i < int(n); i++ {
+			b.Push(frame(i, time.Millisecond))
+		}
+		b.Drop(int(k))
+		if it, ok := b.Peek(); ok {
+			return it.Frame.PTS >= b.Floor()-b.FrameInterval
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopDueRespectsDeadline(t *testing.T) {
+	b := newBuf()
+	b.Push(frame(5, b.FrameInterval)) // PTS 200ms
+	// Due position 100ms: the head is a future frame → concealment.
+	it, ok := b.PopDue(100 * time.Millisecond)
+	if ok {
+		t.Fatalf("future frame popped: %+v", it.Frame)
+	}
+	if b.Stats().Underflows != 1 {
+		t.Fatal("future-head pop not counted as underflow")
+	}
+	// Due position 200ms: now it plays.
+	it, ok = b.PopDue(200 * time.Millisecond)
+	if !ok || it.Frame.Index != 5 {
+		t.Fatalf("due frame not popped: %+v ok=%v", it.Frame, ok)
+	}
+	// Empty buffer duplicates the last played frame.
+	dup, ok := b.PopDue(time.Hour)
+	if ok || dup.Frame.Index != 5 {
+		t.Fatalf("dup = %+v ok=%v", dup.Frame, ok)
+	}
+	if b.Stats().Duplicated != 1 {
+		t.Fatal("dup not counted")
+	}
+}
+
+func TestPopDueAdvancesFloor(t *testing.T) {
+	b := newBuf()
+	b.Push(frame(0, b.FrameInterval))
+	b.PopDue(0)
+	if b.Floor() != b.FrameInterval {
+		t.Fatalf("floor = %v", b.Floor())
+	}
+}
+
+func TestDropBeforeOnlyDropsStale(t *testing.T) {
+	b := newBuf()
+	for i := 0; i < 10; i++ {
+		b.Push(frame(i, b.FrameInterval))
+	}
+	// Frames 0..4 have PTS < 200ms; 5..9 are future relative to 200ms.
+	n, floor := b.DropBefore(200*time.Millisecond, 100)
+	if n != 5 {
+		t.Fatalf("dropped %d, want 5", n)
+	}
+	if floor != 5*b.FrameInterval {
+		t.Fatalf("floor = %v", floor)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("remaining = %d", b.Len())
+	}
+	it, _ := b.Peek()
+	if it.Frame.Index != 5 {
+		t.Fatalf("head = %d", it.Frame.Index)
+	}
+	// A capped drop stops at max.
+	n, _ = b.DropBefore(time.Hour, 2)
+	if n != 2 {
+		t.Fatalf("capped drop = %d", n)
+	}
+}
+
+func TestDropBeforeNothingStale(t *testing.T) {
+	b := newBuf()
+	b.Push(frame(10, b.FrameInterval))
+	if n, _ := b.DropBefore(100*time.Millisecond, 5); n != 0 {
+		t.Fatalf("dropped future frames: %d", n)
+	}
+}

@@ -1,0 +1,489 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/playout"
+	"repro/internal/protocol"
+	"repro/internal/rtp"
+	"repro/internal/scenario"
+)
+
+// handleCtrl dispatches control-channel packets from servers.
+func (c *Client) handleCtrl(pkt netsim.Packet) {
+	mt, body, err := protocol.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	from := pkt.From.Host()
+	switch mt {
+	case protocol.MsgConnectResult:
+		var m protocol.ConnectResult
+		if protocol.DecodeBody(body, &m) == nil {
+			c.onConnectResult(from, m)
+		}
+	case protocol.MsgSubscribeResult:
+		var m protocol.SubscribeResult
+		if protocol.DecodeBody(body, &m) == nil {
+			c.onSubscribeResult(from, m)
+		}
+	case protocol.MsgTopics:
+		var m protocol.Topics
+		if protocol.DecodeBody(body, &m) == nil {
+			c.mu.Lock()
+			c.topics = m.Topics
+			c.mu.Unlock()
+		}
+	case protocol.MsgSearchResult:
+		var m protocol.SearchResult
+		if protocol.DecodeBody(body, &m) == nil {
+			c.mu.Lock()
+			c.searchHits = m.Hits
+			c.searchDone = true
+			c.mu.Unlock()
+		}
+	case protocol.MsgDocResponse:
+		var m protocol.DocResponse
+		if protocol.DecodeBody(body, &m) == nil {
+			c.onDocResponse(from, m)
+		}
+	case protocol.MsgAnnotations:
+		var m protocol.Annotations
+		if protocol.DecodeBody(body, &m) == nil {
+			c.mu.Lock()
+			c.annotations = &m
+			c.mu.Unlock()
+		}
+	case protocol.MsgSuspendResult:
+		var m protocol.SuspendResult
+		if protocol.DecodeBody(body, &m) == nil {
+			c.onSuspendResult(from, m)
+		}
+	case protocol.MsgError:
+		var m protocol.ErrorMsg
+		if protocol.DecodeBody(body, &m) == nil {
+			c.mu.Lock()
+			c.lastError = m.Msg
+			mach := c.machine(from)
+			if mach.State() == protocol.StSuspended && mach.Can(protocol.InGraceExpired) {
+				mach.Apply(protocol.InGraceExpired)
+				delete(c.suspendTokens, from)
+			}
+			c.logEvent("server error: " + m.Msg)
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Client) onConnectResult(from string, m protocol.ConnectResult) {
+	c.mu.Lock()
+	c.lastConnect = &m
+	mach := c.machine(from)
+	if m.OK {
+		c.sessions[from] = m.SessionID
+		switch mach.State() {
+		case protocol.StConnecting:
+			mach.Apply(protocol.InAuthOK)
+		case protocol.StSuspended:
+			mach.Apply(protocol.InReturn)
+			delete(c.suspendTokens, from)
+		}
+		c.logEvent("connected to " + from)
+		if c.pendingDoc != "" {
+			doc := c.pendingDoc
+			c.pendingDoc = ""
+			c.requestDocLocked(doc)
+		}
+	} else if m.NeedSubscription {
+		if mach.State() == protocol.StConnecting {
+			mach.Apply(protocol.InAuthNeedSubscribe)
+		}
+		c.logEvent("subscription required at " + from)
+	} else {
+		if mach.Can(protocol.InAuthReject) {
+			mach.Apply(protocol.InAuthReject)
+		}
+		c.lastError = m.Reason
+		c.logEvent("connection rejected: " + m.Reason)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) onSubscribeResult(from string, m protocol.SubscribeResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastSubscribe = &m
+	mach := c.machine(from)
+	if m.OK {
+		if mach.State() == protocol.StSubscribing {
+			mach.Apply(protocol.InSubscribed)
+		}
+		c.logEvent("subscribed at " + from)
+		// The connection attempt that triggered the subscription never
+		// created a server-side session; re-handshake transparently so
+		// admission runs with the now-known user.
+		c.send(from, protocol.MsgConnect, protocol.Connect{
+			User: c.opts.User, Password: c.opts.Password, Class: c.opts.Class,
+			PeakRate: c.opts.PeakRate, MinRate: c.opts.MinRate,
+			FloorLevel: c.opts.FloorLevel,
+		})
+	} else {
+		if mach.Can(protocol.InSubscribeFail) {
+			mach.Apply(protocol.InSubscribeFail)
+		}
+		c.lastError = m.Reason
+	}
+}
+
+func (c *Client) onSuspendResult(from string, m protocol.SuspendResult) {
+	c.mu.Lock()
+	if m.OK {
+		c.suspendTokens[from] = m.ResumeToken
+	}
+	after := c.pendingAfterSuspend
+	c.pendingAfterSuspend = nil
+	c.mu.Unlock()
+	if after != nil {
+		after()
+	}
+}
+
+// onDocResponse is the heart of the browser: it preprocesses the received
+// presentation scenario, creates the per-stream buffers and stream
+// handlers, inserts the deliberate initial delay, and starts the
+// presentation scheduler.
+func (c *Client) onDocResponse(from string, m protocol.DocResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mach := c.machine(from)
+	if !m.OK {
+		if mach.Can(protocol.InDocFail) {
+			mach.Apply(protocol.InDocFail)
+		}
+		c.lastError = m.Reason
+		c.logEvent("document failed: " + m.Reason)
+		return
+	}
+	sc, err := scenario.Parse(m.ScenarioSrc)
+	if err != nil {
+		if mach.Can(protocol.InDocFail) {
+			mach.Apply(protocol.InDocFail)
+		}
+		c.lastError = err.Error()
+		return
+	}
+	c.teardownPresentationLocked()
+	if mach.Can(protocol.InDocReady) {
+		mach.Apply(protocol.InDocReady)
+	}
+	c.sc = sc
+	c.sch = scenario.BuildSchedule(sc)
+	// Maintain the back/forward stacks around the document switch.
+	prev := navEntry{Host: c.docHost, Name: c.docName}
+	switch c.navDirection {
+	case -1: // back
+		if prev.Name != "" {
+			c.fwdStack = append(c.fwdStack, prev)
+		}
+	case 1: // forward
+		if prev.Name != "" {
+			c.backStack = append(c.backStack, prev)
+		}
+	case 2: // reload: stacks untouched
+	default: // new navigation
+		if prev.Name != "" {
+			c.backStack = append(c.backStack, prev)
+		}
+		c.fwdStack = nil
+	}
+	c.navDirection = 0
+	c.docName = m.Name
+	if c.docName == "" {
+		c.docName = sc.Title
+	}
+	c.docHost = from
+	sc.Name = c.docName
+	c.docAt = c.clk.Now()
+	c.history = append(c.history, c.docName)
+	c.bufs = buffer.NewSet()
+	c.display = playout.NewDisplay()
+	c.streamInfo = map[string]protocol.StreamAnnounce{}
+	c.asm = map[uint32]map[uint32]*assembly{}
+	c.started = false
+	c.startDelay = 0
+
+	// One buffer handler and one stream handler (port listener) per
+	// parallel media connection.
+	for _, ann := range m.Streams {
+		ann := ann
+		interval := time.Duration(ann.FrameIntervalUS) * time.Microsecond
+		window := c.opts.Window
+		if window <= 0 {
+			window = buffer.ComputeWindow(interval, c.opts.JitterBudget, c.opts.WindowSafety)
+		}
+		c.bufs.Create(buffer.Config{
+			StreamID:      ann.StreamID,
+			FrameInterval: interval,
+			Window:        window,
+		})
+		c.streamInfo[ann.StreamID] = ann
+		c.monitor.Track(ann.StreamID, ann.SSRC)
+		addr := netsim.MakeAddr(c.Host, ann.Port)
+		c.mediaPorts = append(c.mediaPorts, addr)
+		c.net.Listen(addr, c.handleMedia)
+	}
+
+	opts := c.opts.Playout
+	opts.OnLink = c.onTimedLink
+	c.player = playout.New(c.clk, sc, c.sch, c.bufs, c.display, opts)
+	c.logEvent("document ready: " + c.docName)
+
+	// The deliberate initial delay waits only on the buffers that gate the
+	// start of the presentation: time-sensitive streams playing from (or
+	// near) time zero. Stills retry on lateness, and streams starting
+	// later are pre-rolled by the flow scheduler on their own schedule.
+	c.fillIDs = nil
+	c.stillIDs = nil
+	for _, st := range sc.TimedStreams() {
+		if st.Start > time.Second {
+			continue
+		}
+		if st.Type.TimeSensitive() {
+			c.fillIDs = append(c.fillIDs, st.ID)
+		} else {
+			c.stillIDs = append(c.stillIDs, st.ID)
+		}
+	}
+
+	// The deliberate initial delay: start once every buffer holds its
+	// media time window, or when the cap expires.
+	deadline := c.clk.Now().Add(c.opts.MaxInitialDelay)
+	c.pollFillLocked(deadline)
+}
+
+func (c *Client) pollFillLocked(deadline time.Time) {
+	if c.started || c.player == nil {
+		return
+	}
+	filled := true
+	for _, id := range c.fillIDs {
+		if b := c.bufs.Get(id); b != nil && !b.Filled() {
+			filled = false
+			break
+		}
+	}
+	// Stills due at the start must have arrived (one frame suffices).
+	for _, id := range c.stillIDs {
+		if b := c.bufs.Get(id); b != nil && b.Len() == 0 {
+			filled = false
+			break
+		}
+	}
+	if filled && len(c.fillIDs) == 0 && len(c.stillIDs) == 0 {
+		// No gating stream: wait a token 200ms.
+		filled = c.clk.Since(c.docAt) >= 200*time.Millisecond
+	}
+	if filled || !c.clk.Now().Before(deadline) {
+		c.started = true
+		c.startDelay = c.clk.Now().Sub(c.docAt)
+		c.player.Start()
+		c.logEvent("presentation started")
+		// Natural end of the presentation (when no timed link ends it
+		// first): scenario length plus a small slack.
+		length := c.sc.Length()
+		c.endTimer = c.clk.AfterFunc(length+500*time.Millisecond, c.onPresentationEnd)
+		c.fbTimer = c.clk.AfterFunc(c.opts.FeedbackInterval, c.sendFeedback)
+		return
+	}
+	c.fillTimer = c.clk.AfterFunc(50*time.Millisecond, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.pollFillLocked(deadline)
+	})
+}
+
+// handleMedia is the stream handler: it parses RTP, updates the QoS
+// monitor, reassembles fragments and pushes complete frames into the
+// stream's buffer.
+func (c *Client) handleMedia(pkt netsim.Packet) {
+	// RTP/RTCP demultiplexing: RTCP packet types occupy 200–204 in the
+	// second octet, a range RTP payload types never reach.
+	if len(pkt.Payload) >= 2 && pkt.Payload[1] >= 200 && pkt.Payload[1] <= 204 {
+		if cp, err := rtp.UnmarshalControl(pkt.Payload); err == nil && cp.SR != nil {
+			if id, ok := c.monitor.StreamID(cp.SR.SSRC); ok {
+				c.monitor.ObserveSR(id, cp.SR)
+			}
+		}
+		return
+	}
+	p, err := rtp.Unmarshal(pkt.Payload)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.monitor.StreamID(p.SSRC)
+	if !ok {
+		return
+	}
+	c.monitor.Observe(id, p, c.clk.Now(), pkt.SentAt)
+	hdr, data, err := media.ParseFrameHeader(p.Payload)
+	if err != nil {
+		return
+	}
+	byFrame, ok := c.asm[p.SSRC]
+	if !ok {
+		byFrame = map[uint32]*assembly{}
+		c.asm[p.SSRC] = byFrame
+	}
+	a, ok := byFrame[hdr.Index]
+	if !ok {
+		a = &assembly{frags: map[uint16][]byte{}, total: hdr.FragCount, hdr: hdr, ts: p.Timestamp}
+		byFrame[hdr.Index] = a
+	}
+	if _, dup := a.frags[hdr.Frag]; !dup {
+		a.frags[hdr.Frag] = data
+		a.count++
+	}
+	if a.count < a.total || a.complete {
+		return
+	}
+	a.complete = true
+	delete(byFrame, hdr.Index)
+	// Drop stale assemblies far behind this frame (lost fragments never
+	// complete; bound the state).
+	for idx := range byFrame {
+		if idx+50 < hdr.Index {
+			delete(byFrame, idx)
+		}
+	}
+	if buf := c.bufs.Get(id); buf != nil {
+		buf.Push(buffer.Item{
+			Frame: media.Frame{
+				Index:  int(hdr.Index),
+				PTS:    rtp.FromTimestamp(p.Timestamp),
+				Kind:   hdr.Kind,
+				Size:   int(hdr.FrameSize),
+				Marker: true,
+				Level:  int(hdr.Level),
+			},
+			ArrivedAt: c.clk.Now(),
+		})
+	}
+}
+
+// sendFeedback ships the periodic RTCP receiver report to the server.
+func (c *Client) sendFeedback() {
+	c.mu.Lock()
+	if c.player == nil || c.player.Finished() || c.current == "" {
+		c.mu.Unlock()
+		return
+	}
+	rr := c.monitor.BuildRR()
+	host := c.current
+	c.fbTimer = c.clk.AfterFunc(c.opts.FeedbackInterval, c.sendFeedback)
+	c.mu.Unlock()
+	c.send(host, protocol.MsgFeedback, protocol.Feedback{RTCP: rr.Marshal()})
+}
+
+// onTimedLink fires when the presentation scenario auto-follows a link.
+func (c *Client) onTimedLink(link scenario.Link) {
+	c.mu.Lock()
+	if !c.opts.AutoFollowLinks {
+		c.mu.Unlock()
+		return
+	}
+	c.logEvent("timed link → " + link.Target)
+	mach := c.machine(c.current)
+	if mach.State() == protocol.StViewing {
+		// The player already finished; the machine goes back through
+		// browsing before the next request.
+		c.teardownPresentationLocked()
+		mach.Apply(protocol.InPresentationEnd)
+	}
+	c.followLinkFromEndLocked(link)
+	c.mu.Unlock()
+}
+
+// followLinkFromEndLocked navigates after the presentation already ended
+// (state Browsing), unlike FollowLink which may interrupt a live one.
+func (c *Client) followLinkFromEndLocked(link scenario.Link) {
+	if link.Host == "" || link.Host == c.current {
+		c.requestDocLocked(link.Target)
+		return
+	}
+	host := link.Host
+	target := link.Target
+	// Per Figure 4 the remote document is requested, found to live on
+	// another server, and the connection suspends: browsing → requesting
+	// → suspended.
+	mach := c.machine(c.current)
+	if mach.Can(protocol.InRequestDoc) {
+		mach.Apply(protocol.InRequestDoc)
+	}
+	if mach.Can(protocol.InRedirect) {
+		mach.Apply(protocol.InRedirect)
+	}
+	c.logEvent("suspend " + c.current + " → " + host)
+	c.send(c.current, protocol.MsgSuspend, protocol.Suspend{})
+	c.pendingAfterSuspend = func() {
+		c.mu.Lock()
+		c.pendingDoc = target
+		c.mu.Unlock()
+		c.Connect(host)
+	}
+}
+
+// onPresentationEnd handles the natural completion of a scenario.
+func (c *Client) onPresentationEnd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.player == nil || c.player.Finished() {
+		return
+	}
+	// Pauses freeze presentation time: if it has not actually reached the
+	// scenario length yet, re-arm for the remainder.
+	if remaining := c.sc.Length() + 500*time.Millisecond - c.player.Now(); remaining > 50*time.Millisecond {
+		c.endTimer = c.clk.AfterFunc(remaining, c.onPresentationEnd)
+		return
+	}
+	mach := c.machine(c.current)
+	if mach.State() == protocol.StViewing {
+		c.player.Finish()
+		mach.Apply(protocol.InPresentationEnd)
+		c.logEvent("presentation ended")
+	}
+	c.stopTimersLocked()
+}
+
+// teardownPresentationLocked releases the media ports, timers and player of
+// the current presentation (keeping display/report for inspection).
+func (c *Client) teardownPresentationLocked() {
+	if c.player != nil {
+		c.player.Finish()
+	}
+	c.stopTimersLocked()
+	for _, addr := range c.mediaPorts {
+		c.net.Listen(addr, nil)
+	}
+	c.mediaPorts = nil
+	c.asm = nil
+}
+
+func (c *Client) stopTimersLocked() {
+	if c.fillTimer != nil {
+		c.fillTimer.Stop()
+		c.fillTimer = nil
+	}
+	if c.endTimer != nil {
+		c.endTimer.Stop()
+		c.endTimer = nil
+	}
+	if c.fbTimer != nil {
+		c.fbTimer.Stop()
+		c.fbTimer = nil
+	}
+}

@@ -1,0 +1,269 @@
+// Package clock abstracts time so that the entire service can run either on
+// the operating-system wall clock (for the real client/server binaries) or on
+// a deterministic virtual clock (for simulation, tests and benchmarks).
+//
+// All timing-sensitive code in this repository — playout scheduling, buffer
+// monitoring, QoS feedback intervals, suspend grace periods — is written
+// against the Clock interface, never against package time directly. This is
+// what lets the experiment harness replay a multi-minute multimedia session
+// in milliseconds while exercising exactly the production code paths.
+//
+// The Virtual clock doubles as a discrete-event scheduler: timers registered
+// with AfterFunc fire as ordinary function calls from whichever goroutine
+// drives the clock (Advance, Step or Run), in strict deadline order with FIFO
+// tie-breaking. A whole client/server session over the simulated network is
+// therefore a single-threaded, perfectly reproducible computation.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the service.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns the duration elapsed since t on this clock.
+	Since(t time.Time) time.Duration
+	// AfterFunc arranges for fn to be called once d has elapsed on this
+	// clock and returns a handle that can cancel the call.
+	AfterFunc(d time.Duration, fn func()) *Timer
+}
+
+// Timer is a cancellable pending AfterFunc call.
+type Timer struct {
+	stop func() bool
+}
+
+// Stop cancels the timer. It reports true when the call was prevented from
+// firing, false when it already fired (or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}
+
+// Wall is the operating-system real-time clock.
+type Wall struct{}
+
+// NewWall returns the wall clock.
+func NewWall() Wall { return Wall{} }
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// AfterFunc implements Clock using the runtime timer system.
+func (Wall) AfterFunc(d time.Duration, fn func()) *Timer {
+	t := time.AfterFunc(d, fn)
+	return &Timer{stop: t.Stop}
+}
+
+// Virtual is a manually advanced simulation clock and discrete-event
+// scheduler. It is safe for concurrent use, although deterministic replay
+// requires a single driving goroutine.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	events eventHeap
+	seq    uint64 // tie-break so equal deadlines fire FIFO
+}
+
+// NewVirtual returns a virtual clock starting at the given epoch.
+func NewVirtual(epoch time.Time) *Virtual {
+	return &Virtual{now: epoch}
+}
+
+// Epoch is the conventional start instant for simulations: an arbitrary but
+// fixed date so traces are reproducible byte-for-byte.
+var Epoch = time.Date(1996, time.August, 6, 9, 0, 0, 0, time.UTC)
+
+// NewSim returns a virtual clock starting at Epoch.
+func NewSim() *Virtual { return NewVirtual(Epoch) }
+
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// AfterFunc implements Clock. A non-positive d schedules fn at the current
+// instant; it still fires from the driver, never synchronously.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.seq++
+	ev := &event{at: v.now.Add(d), seq: v.seq, fn: fn}
+	heap.Push(&v.events, ev)
+	v.mu.Unlock()
+	return &Timer{stop: func() bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if ev.cancelled || ev.index == -1 {
+			return false
+		}
+		ev.cancelled = true
+		heap.Remove(&v.events, ev.index)
+		return true
+	}}
+}
+
+// At schedules fn at absolute instant t (clamped to now when in the past).
+func (v *Virtual) At(t time.Time, fn func()) *Timer {
+	return v.AfterFunc(t.Sub(v.Now()), fn)
+}
+
+// popDue pops the earliest event not after target, returning nil when none.
+func (v *Virtual) popDue(target time.Time) *event {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.events) == 0 || v.events[0].at.After(target) {
+		return nil
+	}
+	ev := heap.Pop(&v.events).(*event)
+	if ev.at.After(v.now) {
+		v.now = ev.at
+	}
+	return ev
+}
+
+// Advance moves virtual time forward by d, firing every timer whose deadline
+// falls within the advanced span, in deadline order. Timers scheduled by
+// fired callbacks are themselves fired if they fall within the span.
+func (v *Virtual) Advance(d time.Duration) { v.AdvanceTo(v.Now().Add(d)) }
+
+// AdvanceTo moves virtual time forward to t (no-op if t is not after now),
+// firing due timers along the way.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	for {
+		ev := v.popDue(t)
+		if ev == nil {
+			break
+		}
+		ev.fn()
+	}
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	v.mu.Unlock()
+}
+
+// Step fires the single earliest pending timer, advancing time to its
+// deadline. It reports false when no timer is pending.
+func (v *Virtual) Step() bool {
+	v.mu.Lock()
+	if len(v.events) == 0 {
+		v.mu.Unlock()
+		return false
+	}
+	target := v.events[0].at
+	v.mu.Unlock()
+	ev := v.popDue(target)
+	if ev == nil {
+		return false
+	}
+	ev.fn()
+	return true
+}
+
+// Run fires timers in order until none remain or until the next deadline
+// would exceed horizon. It returns the number of events fired. A zero
+// horizon means run until idle.
+func (v *Virtual) Run(horizon time.Time) int {
+	fired := 0
+	for {
+		v.mu.Lock()
+		if len(v.events) == 0 {
+			v.mu.Unlock()
+			return fired
+		}
+		next := v.events[0].at
+		v.mu.Unlock()
+		if !horizon.IsZero() && next.After(horizon) {
+			v.AdvanceTo(horizon)
+			return fired
+		}
+		if v.Step() {
+			fired++
+		}
+	}
+}
+
+// RunFor runs the event loop for d of virtual time.
+func (v *Virtual) RunFor(d time.Duration) int { return v.Run(v.Now().Add(d)) }
+
+// RunUntilIdle fires every pending timer (including newly scheduled ones)
+// until the queue drains, then returns the number fired.
+func (v *Virtual) RunUntilIdle() int { return v.Run(time.Time{}) }
+
+// NextDeadline reports the earliest pending timer deadline, and false when no
+// timer is pending.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.events) == 0 {
+		return time.Time{}, false
+	}
+	return v.events[0].at, true
+}
+
+// Pending reports the number of scheduled, unfired timers.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.events)
+}
+
+var (
+	_ Clock = Wall{}
+	_ Clock = (*Virtual)(nil)
+)

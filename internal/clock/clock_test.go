@@ -1,0 +1,268 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualNowStartsAtEpoch(t *testing.T) {
+	v := NewSim()
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), Epoch)
+	}
+}
+
+func TestVirtualAdvanceMovesTime(t *testing.T) {
+	v := NewSim()
+	v.Advance(3 * time.Second)
+	if got := v.Since(Epoch); got != 3*time.Second {
+		t.Fatalf("Since(Epoch) = %v, want 3s", got)
+	}
+}
+
+func TestAfterFuncFiresAtDeadline(t *testing.T) {
+	v := NewSim()
+	var firedAt time.Time
+	v.AfterFunc(250*time.Millisecond, func() { firedAt = v.Now() })
+	v.Advance(200 * time.Millisecond)
+	if !firedAt.IsZero() {
+		t.Fatalf("timer fired early at %v", firedAt)
+	}
+	v.Advance(100 * time.Millisecond)
+	want := Epoch.Add(250 * time.Millisecond)
+	if !firedAt.Equal(want) {
+		t.Fatalf("fired at %v, want %v", firedAt, want)
+	}
+}
+
+func TestAfterFuncZeroAndNegativeDelay(t *testing.T) {
+	v := NewSim()
+	n := 0
+	v.AfterFunc(0, func() { n++ })
+	v.AfterFunc(-time.Second, func() { n++ })
+	if n != 0 {
+		t.Fatal("callbacks must not fire synchronously")
+	}
+	v.RunUntilIdle()
+	if n != 2 {
+		t.Fatalf("fired %d callbacks, want 2", n)
+	}
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("time moved to %v firing immediate timers", v.Now())
+	}
+}
+
+func TestTimersFireInDeadlineOrderWithFIFOTies(t *testing.T) {
+	v := NewSim()
+	var order []int
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 0) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	v.RunUntilIdle()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	v := NewSim()
+	fired := false
+	tm := v.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	v.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStopAfterFiringReportsFalse(t *testing.T) {
+	v := NewSim()
+	tm := v.AfterFunc(time.Millisecond, func() {})
+	v.Advance(time.Millisecond)
+	if tm.Stop() {
+		t.Fatal("Stop() = true after the timer fired")
+	}
+}
+
+func TestCallbackMaySchedule(t *testing.T) {
+	v := NewSim()
+	var times []time.Duration
+	var tick func()
+	tick = func() {
+		times = append(times, v.Since(Epoch))
+		if len(times) < 5 {
+			v.AfterFunc(100*time.Millisecond, tick)
+		}
+	}
+	v.AfterFunc(100*time.Millisecond, tick)
+	v.RunFor(time.Minute)
+	if len(times) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(times))
+	}
+	for i, d := range times {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if d != want {
+			t.Fatalf("tick %d at %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestAdvanceFiresNestedTimersWithinSpan(t *testing.T) {
+	v := NewSim()
+	var at []time.Duration
+	v.AfterFunc(10*time.Millisecond, func() {
+		at = append(at, v.Since(Epoch))
+		v.AfterFunc(5*time.Millisecond, func() {
+			at = append(at, v.Since(Epoch))
+		})
+	})
+	v.Advance(20 * time.Millisecond)
+	if len(at) != 2 || at[0] != 10*time.Millisecond || at[1] != 15*time.Millisecond {
+		t.Fatalf("fired at %v, want [10ms 15ms]", at)
+	}
+	if got := v.Since(Epoch); got != 20*time.Millisecond {
+		t.Fatalf("clock at %v after Advance, want 20ms", got)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	v := NewSim()
+	fired := 0
+	v.AfterFunc(time.Second, func() { fired++ })
+	v.AfterFunc(3*time.Second, func() { fired++ })
+	n := v.Run(Epoch.Add(2 * time.Second))
+	if n != 1 || fired != 1 {
+		t.Fatalf("Run fired %d (%d observed), want 1", n, fired)
+	}
+	if got := v.Since(Epoch); got != 2*time.Second {
+		t.Fatalf("clock at %v, want horizon 2s", got)
+	}
+	if v.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", v.Pending())
+	}
+}
+
+func TestStepAdvancesOneEvent(t *testing.T) {
+	v := NewSim()
+	fired := 0
+	v.AfterFunc(time.Second, func() { fired++ })
+	v.AfterFunc(2*time.Second, func() { fired++ })
+	if !v.Step() || fired != 1 {
+		t.Fatalf("first Step fired %d, want 1", fired)
+	}
+	if !v.Step() || fired != 2 {
+		t.Fatalf("second Step fired %d, want 2", fired)
+	}
+	if v.Step() {
+		t.Fatal("Step() = true on empty queue")
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	v := NewSim()
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a deadline on an empty clock")
+	}
+	v.AfterFunc(7*time.Second, func() {})
+	v.AfterFunc(2*time.Second, func() {})
+	d, ok := v.NextDeadline()
+	if !ok || !d.Equal(Epoch.Add(2*time.Second)) {
+		t.Fatalf("NextDeadline = %v,%v; want %v,true", d, ok, Epoch.Add(2*time.Second))
+	}
+}
+
+func TestAtSchedulesAbsolute(t *testing.T) {
+	v := NewSim()
+	var fired time.Time
+	v.At(Epoch.Add(42*time.Second), func() { fired = v.Now() })
+	v.RunUntilIdle()
+	if !fired.Equal(Epoch.Add(42 * time.Second)) {
+		t.Fatalf("fired at %v, want Epoch+42s", fired)
+	}
+}
+
+func TestWallClockBasics(t *testing.T) {
+	w := NewWall()
+	before := time.Now()
+	now := w.Now()
+	if now.Before(before) {
+		t.Fatal("wall Now went backwards")
+	}
+	done := make(chan struct{})
+	tm := w.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop() = true after wall timer fired")
+	}
+}
+
+func TestNilTimerStop(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("nil Timer Stop() = true")
+	}
+}
+
+// Property: for any set of non-negative delays, RunUntilIdle fires all timers
+// exactly once and in non-decreasing deadline order.
+func TestQuickFiringOrder(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		v := NewSim()
+		var fired []time.Duration
+		for _, ms := range delaysMS {
+			d := time.Duration(ms) * time.Millisecond
+			v.AfterFunc(d, func() { fired = append(fired, v.Since(Epoch)) })
+		}
+		v.RunUntilIdle()
+		if len(fired) != len(delaysMS) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stopping a random subset of timers fires exactly the complement.
+func TestQuickStopSubset(t *testing.T) {
+	f := func(delaysMS []uint8, stopMask []bool) bool {
+		v := NewSim()
+		fired := 0
+		var timers []*Timer
+		for _, ms := range delaysMS {
+			timers = append(timers, v.AfterFunc(time.Duration(ms)*time.Millisecond, func() { fired++ }))
+		}
+		stopped := 0
+		for i, tm := range timers {
+			if i < len(stopMask) && stopMask[i] {
+				if tm.Stop() {
+					stopped++
+				}
+			}
+		}
+		v.RunUntilIdle()
+		return fired == len(delaysMS)-stopped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

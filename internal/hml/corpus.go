@@ -1,0 +1,114 @@
+package hml
+
+import (
+	"fmt"
+	"time"
+)
+
+// Figure2Source is the exact multimedia scenario of Figure 2 of the paper,
+// expressed in the markup language: a formatted text shown throughout, image
+// I1 at presentation start, image I2 at t_i2, an audio segment A1
+// synchronized with video V (same start, same duration d_v), and audio A2 at
+// t_a2.
+const Figure2Source = `<TITLE>Figure 2 scenario</TITLE>
+<H1>A pre-orchestrated multimedia presentation</H1>
+<PAR>
+<TEXT>This formatted text is always shown throughout the presentation.
+<B>Media appear and disappear around it</B> according to the
+<I>playout scenario</I>.</TEXT>
+<IMG SOURCE=img/I1 ID=I1 STARTIME=0 DURATION=8 WIDTH=320 HEIGHT=240 NOTE="image I1"> </IMG>
+<IMG SOURCE=img/I2 ID=I2 STARTIME=8 DURATION=10 WIDTH=320 HEIGHT=240 NOTE="image I2"> </IMG>
+<AU_VI SOURCE=au/A1 SOURCE=vi/V ID=A1 ID=V STARTIME=10 STARTIME=10 DURATION=12 DURATION=12 NOTE="lip-synced narration"> </AU_VI>
+<AU SOURCE=au/A2 ID=A2 STARTIME=24 DURATION=6 NOTE="audio A2"> </AU>
+<SEP>
+<HLINK HREF=next-lesson.hml AT=32 KIND=SEQ NOTE="continue to the next unit"> </HLINK>
+<HLINK HREF=background.hml NOTE="related background reading"> </HLINK>
+`
+
+// Figure2Times collects the symbolic time constants of Figure 2 so tests and
+// experiments can assert against the same values the document encodes.
+var Figure2Times = struct {
+	I1Start, I1Dur time.Duration
+	I2Start, I2Dur time.Duration
+	AVStart, AVDur time.Duration
+	A2Start, A2Dur time.Duration
+	LinkAt         time.Duration
+}{
+	I1Start: 0, I1Dur: 8 * time.Second,
+	I2Start: 8 * time.Second, I2Dur: 10 * time.Second,
+	AVStart: 10 * time.Second, AVDur: 12 * time.Second,
+	A2Start: 24 * time.Second, A2Dur: 6 * time.Second,
+	LinkAt: 32 * time.Second,
+}
+
+// Figure2 parses Figure2Source; it panics on error (the source is a fixture).
+func Figure2() *Document {
+	d := MustParse(Figure2Source)
+	d.Name = "figure2.hml"
+	return d
+}
+
+// LessonSource builds a synthetic distance-education lesson with n "slides":
+// each slide shows an image, plays a synchronized audio+video segment over
+// it, and the last slide carries a timed sequential link to the next lesson.
+// Used by workload generators and benchmarks.
+func LessonSource(name string, n int, slide time.Duration) string {
+	src := fmt.Sprintf("<TITLE>Lesson %s</TITLE>\n<H1>%s</H1>\n", name, name)
+	src += "<PAR>\n<TEXT>Lesson overview: <B>pre-orchestrated</B> slides with narration.</TEXT>\n"
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * slide
+		src += fmt.Sprintf("<H2>Slide %d</H2>\n", i+1)
+		src += fmt.Sprintf("<IMG SOURCE=img/%s-slide%d ID=%s-img%d STARTIME=%s DURATION=%s WIDTH=640 HEIGHT=480> </IMG>\n",
+			name, i+1, name, i+1, FormatTime(at), FormatTime(slide))
+		src += fmt.Sprintf("<AU_VI SOURCE=au/%s-nar%d SOURCE=vi/%s-clip%d ID=%s-au%d ID=%s-vi%d STARTIME=%s DURATION=%s> </AU_VI>\n",
+			name, i+1, name, i+1, name, i+1, name, i+1, FormatTime(at), FormatTime(slide-time.Second))
+	}
+	total := time.Duration(n) * slide
+	src += fmt.Sprintf("<SEP>\n<HLINK HREF=%s-next.hml AT=%s KIND=SEQ> </HLINK>\n", name, FormatTime(total))
+	src += fmt.Sprintf("<HLINK HREF=%s-extra.hml NOTE=\"optional deep dive\"> </HLINK>\n", name)
+	return src
+}
+
+// GrammarCorpus returns a set of documents that together exercise every
+// production of the Figure 1 grammar; used by the F1 experiment and the
+// parser tests.
+func GrammarCorpus() map[string]string {
+	return map[string]string{
+		"minimal": `<TITLE>t</TITLE>` + "\n" + `<TEXT>x</TEXT>`,
+		"headings": `<TITLE>Headings</TITLE>
+<H1>one</H1><TEXT>a</TEXT>
+<H2>two</H2><TEXT>b</TEXT>
+<H3>three</H3><TEXT>c</TEXT>`,
+		"styles": `<TITLE>Styles</TITLE>
+<TEXT>plain <B>bold</B> <I>italic</I> <U>under</U> <B><I>both</I></B> tail</TEXT>`,
+		"paragraphs": `<TITLE>Paragraphs</TITLE>
+<PAR><TEXT>first</TEXT><SEP>
+<PAR><TEXT>second</TEXT>`,
+		"image": `<TITLE>Image</TITLE>
+<IMG SOURCE=img/x ID=x STARTIME=0 DURATION=5 WIDTH=100 HEIGHT=50 WHERE="10,20" NOTE="an image"> </IMG>`,
+		"audio": `<TITLE>Audio</TITLE>
+<AU SOURCE=au/x ID=ax STARTIME=2.5 DURATION=7> </AU>`,
+		"video": `<TITLE>Video</TITLE>
+<VI SOURCE=vi/x ID=vx STARTIME=1 DURATION=30> </VI>`,
+		"auvi": `<TITLE>AV</TITLE>
+<AU_VI SOURCE=au/a SOURCE=vi/v ID=a ID=v STARTIME=3 STARTIME=3 DURATION=9 DURATION=9> </AU_VI>`,
+		"auvi-single": `<TITLE>AV single timing</TITLE>
+<AU_VI SOURCE=au/a SOURCE=vi/v ID=a2 ID=v2 STARTIME=4 DURATION=8> </AU_VI>`,
+		"links": `<TITLE>Links</TITLE>
+<TEXT>see also</TEXT>
+<HLINK HREF=other.hml NOTE="explore"> </HLINK>
+<HLINK HREF=seq.hml KIND=SEQ> </HLINK>
+<HLINK HREF=timed.hml AT=15> </HLINK>
+<HLINK HREF=remote.hml HOST=server-b> </HLINK>`,
+		"links-bareword": `<TITLE>Bare links</TITLE>
+<HLINK> AT 30 next.hml </HLINK>
+<HLINK> other.hml server-b </HLINK>`,
+		"attrs-in-body": `<TITLE>Body attrs</TITLE>
+<IMG> SOURCE=img/y ID=y STARTIME=0 DURATION=3 </IMG>`,
+		"after-chain": `<TITLE>Relative timing</TITLE>
+<IMG SOURCE=img/a ID=ra STARTIME=0 DURATION=4> </IMG>
+<IMG SOURCE=img/b ID=rb AFTER=ra DURATION=4> </IMG>
+<AU SOURCE=au/c ID=rc AFTER=rb STARTIME=1 DURATION=5> </AU>`,
+		"figure2": Figure2Source,
+	}
+}

@@ -1,0 +1,263 @@
+package hml
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer converts HML source text into a token stream. Tokenization is
+// context-sensitive: inside text-bearing tags (TITLE, H1–H3, TEXT, B, I, U)
+// the lexer emits raw character data until the next tag; inside media tags it
+// emits attribute/value pairs; elsewhere it emits tags and bare words.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	// textMode is a stack of booleans tracking whether the innermost open
+	// tag bears text.
+	textMode []bool
+	pending  []Token
+	err      error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) && isSpace(l.src[l.off]) {
+		l.advance()
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == '/' || c == ':' || c == ',' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *Lexer) inText() bool {
+	return len(l.textMode) > 0 && l.textMode[len(l.textMode)-1]
+}
+
+// Next returns the next token. After an error it keeps returning TokEOF; the
+// error is available from Err.
+func (l *Lexer) Next() Token {
+	if len(l.pending) > 0 {
+		t := l.pending[0]
+		l.pending = l.pending[1:]
+		return t
+	}
+	if l.err != nil {
+		return Token{Kind: TokEOF, Pos: l.pos()}
+	}
+	if l.inText() {
+		return l.lexCharData()
+	}
+	l.skipSpace()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos()}
+	}
+	if l.peek() == '<' {
+		return l.lexTag()
+	}
+	return l.lexAttrOrWord()
+}
+
+// Err reports the first lexical error encountered.
+func (l *Lexer) Err() error { return l.err }
+
+func (l *Lexer) fail(pos Pos, format string, args ...interface{}) Token {
+	if l.err == nil {
+		l.err = errAt(pos, format, args...)
+	}
+	return Token{Kind: TokEOF, Pos: pos}
+}
+
+// lexTag handles "<KW", "</KW>" and the closing ">" of an open tag.
+func (l *Lexer) lexTag() Token {
+	pos := l.pos()
+	l.advance() // consume '<'
+	closing := false
+	if l.peek() == '/' {
+		l.advance()
+		closing = true
+	}
+	start := l.off
+	for l.off < len(l.src) && (l.src[l.off] == '_' || unicode.IsLetter(rune(l.src[l.off])) || unicode.IsDigit(rune(l.src[l.off]))) {
+		l.advance()
+	}
+	name := strings.ToUpper(l.src[start:l.off])
+	if name == "" {
+		return l.fail(pos, "empty tag name")
+	}
+	kw := Keyword(name)
+	if !tagKeywords[kw] {
+		return l.fail(pos, "unknown tag %q", name)
+	}
+	if closing {
+		l.skipSpace()
+		if l.peek() != '>' {
+			return l.fail(l.pos(), "expected '>' to close </%s", name)
+		}
+		l.advance()
+		if len(l.textMode) > 0 {
+			l.textMode = l.textMode[:len(l.textMode)-1]
+		}
+		return Token{Kind: TokClose, Lit: name, Pos: pos}
+	}
+	// Open tag: emit TokOpen, then scan inline attributes until '>'.
+	open := Token{Kind: TokOpen, Lit: name, Pos: pos}
+	for {
+		l.skipSpace()
+		if l.off >= len(l.src) {
+			return l.fail(l.pos(), "unterminated <%s tag", name)
+		}
+		if l.peek() == '>' {
+			l.advance()
+			break
+		}
+		mark := len(l.pending)
+		t := l.lexAttrOrWord()
+		if t.Kind == TokEOF {
+			return t // error already recorded
+		}
+		// lexAttrOrWord may itself have queued the attribute's value
+		// token; the key must precede it.
+		l.pending = append(l.pending, Token{})
+		copy(l.pending[mark+1:], l.pending[mark:])
+		l.pending[mark] = t
+	}
+	l.pending = append(l.pending, Token{Kind: TokGT, Pos: l.pos()})
+	if voidTags[kw] {
+		// Void tags have no body and no close tag; no mode push.
+	} else {
+		l.textMode = append(l.textMode, textBearing[kw])
+	}
+	return open
+}
+
+// lexAttrOrWord scans either KW= value (two tokens, value queued) or a bare
+// word / quoted string.
+func (l *Lexer) lexAttrOrWord() Token {
+	pos := l.pos()
+	if l.peek() == '"' {
+		return l.lexQuoted(TokValue)
+	}
+	start := l.off
+	for l.off < len(l.src) && isWordByte(l.src[l.off]) {
+		l.advance()
+	}
+	word := l.src[start:l.off]
+	if word == "" {
+		return l.fail(pos, "unexpected character %q", string(l.peek()))
+	}
+	// An '=' immediately after (possibly with spaces) makes this an
+	// attribute key; the paper's examples write both "SOURCE=x" and
+	// "SOURCE= x".
+	save := l.off
+	saveLine, saveCol := l.line, l.col
+	l.skipSpace()
+	if l.peek() == '=' {
+		l.advance()
+		l.skipSpace()
+		val := l.lexValue()
+		if val.Kind == TokEOF {
+			return val
+		}
+		l.pending = append(l.pending, val)
+		return Token{Kind: TokAttr, Lit: strings.ToUpper(word), Pos: pos}
+	}
+	l.off, l.line, l.col = save, saveLine, saveCol
+	return Token{Kind: TokWord, Lit: word, Pos: pos}
+}
+
+func (l *Lexer) lexValue() Token {
+	pos := l.pos()
+	if l.peek() == '"' {
+		return l.lexQuoted(TokValue)
+	}
+	start := l.off
+	for l.off < len(l.src) && isWordByte(l.src[l.off]) {
+		l.advance()
+	}
+	if l.off == start {
+		return l.fail(pos, "expected attribute value")
+	}
+	return Token{Kind: TokValue, Lit: l.src[start:l.off], Pos: pos}
+}
+
+func (l *Lexer) lexQuoted(kind TokenKind) Token {
+	pos := l.pos()
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return l.fail(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' && l.off < len(l.src) {
+			c = l.advance()
+		}
+		b.WriteByte(c)
+	}
+	return Token{Kind: kind, Lit: b.String(), Pos: pos}
+}
+
+// lexCharData scans raw text until the next '<'.
+func (l *Lexer) lexCharData() Token {
+	pos := l.pos()
+	start := l.off
+	for l.off < len(l.src) && l.peek() != '<' {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if text == "" {
+		if l.off >= len(l.src) {
+			return l.fail(pos, "unterminated text content")
+		}
+		return l.lexTag()
+	}
+	return Token{Kind: TokCharData, Lit: text, Pos: pos}
+}
+
+// Tokens lexes the whole input, returning all tokens up to EOF.
+func Tokens(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t := l.Next()
+		if t.Kind == TokEOF {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, l.Err()
+}

@@ -1,0 +1,160 @@
+// Package media provides the synthetic media substrate: frame/sample
+// generators for video, audio, images and text whose sizes, rates and
+// structure match the formats the paper's prototype shipped (MPEG/AVI video,
+// PCM/ADPCM/VADPCM audio, GIF/TIFF/BMP/JPEG images), together with the
+// quality ladders the Media Stream Quality Converter grades across.
+//
+// The service machinery manipulates frame timing, sizes and rates — never
+// pixel or sample content — so synthetic frames with the right size/rate
+// structure exercise exactly the code paths the paper describes. Payload
+// bytes are deterministic filler.
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rtp"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// FrameKind classifies video frames within a group of pictures.
+type FrameKind int
+
+// Video frame kinds.
+const (
+	FrameI FrameKind = iota
+	FrameP
+	FrameB
+	// FrameAudio marks audio sample blocks.
+	FrameAudio
+	// FrameStill marks one-shot image/text deliveries.
+	FrameStill
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	case FrameB:
+		return "B"
+	case FrameAudio:
+		return "A"
+	case FrameStill:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// Frame is one access unit: a video frame, an audio block or a still chunk.
+type Frame struct {
+	// Index is the frame's ordinal within the stream.
+	Index int
+	// PTS is the presentation timestamp relative to the stream's start.
+	PTS time.Duration
+	// Kind is the frame class.
+	Kind FrameKind
+	// Size is the encoded size in bytes at the quality level requested.
+	Size int
+	// Marker flags the last packetizable unit of a visual frame.
+	Marker bool
+	// Level records the quality level the frame was encoded at.
+	Level int
+}
+
+// Source generates a stream's frames at a requested quality level. Level 0
+// is the best quality; higher levels are progressively degraded, down to
+// Levels()-1 (the paper's lowest threshold before stream cut-off).
+type Source interface {
+	// ID returns the stream identifier this source feeds.
+	ID() string
+	// Levels returns the number of quality levels.
+	Levels() int
+	// Bitrate returns the nominal rate in bits/s at a level.
+	Bitrate(level int) float64
+	// FrameInterval returns the nominal spacing between frames.
+	FrameInterval() time.Duration
+	// FrameAt returns the i-th frame encoded at the given level.
+	FrameAt(i int, level int) Frame
+	// FramesIn returns the frames with PTS in [from, to).
+	FramesIn(from, to time.Duration, level int) []Frame
+	// PayloadType returns the RTP payload type at a level (grading can
+	// switch codecs, e.g. PCM→ADPCM→VADPCM).
+	PayloadType(level int) rtp.PayloadType
+	// LevelName names a level for traces ("MPEG cf=2", "ADPCM 16kHz").
+	LevelName(level int) string
+}
+
+// clampLevel confines level to [0, n-1].
+func clampLevel(level, n int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= n {
+		return n - 1
+	}
+	return level
+}
+
+// framesIn is the shared FramesIn implementation.
+func framesIn(s Source, from, to time.Duration, level int) []Frame {
+	if to <= from {
+		return nil
+	}
+	fi := s.FrameInterval()
+	if fi <= 0 {
+		return nil
+	}
+	first := int(from / fi)
+	if time.Duration(first)*fi < from {
+		first++
+	}
+	var out []Frame
+	for i := first; time.Duration(i)*fi < to; i++ {
+		out = append(out, s.FrameAt(i, level))
+	}
+	return out
+}
+
+// Payload builds a deterministic filler payload of the given size, tagged
+// with the stream id and frame index so tests can verify content integrity
+// end to end.
+func Payload(id string, index, size int) []byte {
+	if size <= 0 {
+		size = 1
+	}
+	buf := make([]byte, size)
+	tag := fmt.Sprintf("%s#%d|", id, index)
+	copy(buf, tag)
+	seed := uint64(index)*2654435761 + uint64(len(id))
+	rng := stats.NewRNG(seed)
+	for i := len(tag); i < size; i++ {
+		buf[i] = byte(rng.Uint64())
+	}
+	return buf
+}
+
+// ForStream builds the appropriate Source for a scenario stream.
+func ForStream(s *scenario.Stream) Source {
+	switch s.Type {
+	case scenario.TypeVideo:
+		return NewVideo(s.ID, DefaultVideoLadder())
+	case scenario.TypeAudio:
+		return NewAudio(s.ID, DefaultAudioLadder())
+	case scenario.TypeImage:
+		w, h := s.Width, s.Height
+		if w == 0 {
+			w = 320
+		}
+		if h == 0 {
+			h = 240
+		}
+		return NewImage(s.ID, w, h)
+	default:
+		return NewText(s.ID, s.Text)
+	}
+}

@@ -1,0 +1,81 @@
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// FrameHeaderSize is the wire size of the in-payload frame header carried at
+// the start of every RTP fragment.
+const FrameHeaderSize = 12
+
+// FrameHeader is the per-fragment metadata the media servers prepend inside
+// the RTP payload: which frame the fragment belongs to, the quality level it
+// was encoded at, the frame kind, and the fragment position.
+type FrameHeader struct {
+	// Index is the frame ordinal in the stream.
+	Index uint32
+	// Level is the quality level the frame was encoded at.
+	Level uint8
+	// Kind is the frame kind.
+	Kind FrameKind
+	// Frag and FragCount position this fragment within the frame.
+	Frag, FragCount uint16
+	// FrameSize is the full encoded frame size in bytes.
+	FrameSize uint16
+}
+
+// ErrShortHeader reports a payload too small for a frame header.
+var ErrShortHeader = errors.New("media: short frame header")
+
+// Marshal prepends the header to the fragment data.
+func (h *FrameHeader) Marshal(data []byte) []byte {
+	out := make([]byte, FrameHeaderSize+len(data))
+	binary.BigEndian.PutUint32(out[0:], h.Index)
+	out[4] = h.Level
+	out[5] = uint8(h.Kind)
+	binary.BigEndian.PutUint16(out[6:], h.Frag)
+	binary.BigEndian.PutUint16(out[8:], h.FragCount)
+	binary.BigEndian.PutUint16(out[10:], h.FrameSize)
+	copy(out[FrameHeaderSize:], data)
+	return out
+}
+
+// ParseFrameHeader splits a payload into header and fragment data.
+func ParseFrameHeader(buf []byte) (FrameHeader, []byte, error) {
+	if len(buf) < FrameHeaderSize {
+		return FrameHeader{}, nil, ErrShortHeader
+	}
+	h := FrameHeader{
+		Index:     binary.BigEndian.Uint32(buf[0:]),
+		Level:     buf[4],
+		Kind:      FrameKind(buf[5]),
+		Frag:      binary.BigEndian.Uint16(buf[6:]),
+		FragCount: binary.BigEndian.Uint16(buf[8:]),
+		FrameSize: binary.BigEndian.Uint16(buf[10:]),
+	}
+	return h, buf[FrameHeaderSize:], nil
+}
+
+// MTU is the maximum RTP payload carried per packet (fragment data after the
+// frame header), chosen to keep packets under a typical 1500-byte Ethernet
+// MTU with RTP/UDP/IP headers.
+const MTU = 1400
+
+// Fragments splits a frame of the given size into fragment sizes of at most
+// MTU bytes (at least one fragment, even for empty frames).
+func Fragments(size int) []int {
+	if size <= 0 {
+		return []int{0}
+	}
+	var out []int
+	for size > 0 {
+		n := size
+		if n > MTU {
+			n = MTU
+		}
+		out = append(out, n)
+		size -= n
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package media
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	h := FrameHeader{Index: 123456, Level: 3, Kind: FrameP, Frag: 2, FragCount: 5, FrameSize: 7000}
+	data := []byte("fragment payload")
+	buf := h.Marshal(data)
+	if len(buf) != FrameHeaderSize+len(data) {
+		t.Fatalf("wire size = %d", len(buf))
+	}
+	got, rest, err := ParseFrameHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header = %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(rest, data) {
+		t.Fatalf("data = %q", rest)
+	}
+}
+
+func TestParseFrameHeaderShort(t *testing.T) {
+	if _, _, err := ParseFrameHeader(make([]byte, FrameHeaderSize-1)); err != ErrShortHeader {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuickFrameHeaderRoundTrip(t *testing.T) {
+	f := func(index uint32, level, kind uint8, frag, count, size uint16, data []byte) bool {
+		h := FrameHeader{Index: index, Level: level, Kind: FrameKind(kind),
+			Frag: frag, FragCount: count, FrameSize: size}
+		got, rest, err := ParseFrameHeader(h.Marshal(data))
+		return err == nil && got == h && bytes.Equal(rest, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragments(t *testing.T) {
+	cases := []struct {
+		size int
+		want []int
+	}{
+		{0, []int{0}},
+		{-5, []int{0}},
+		{1, []int{1}},
+		{MTU, []int{MTU}},
+		{MTU + 1, []int{MTU, 1}},
+		{3*MTU + 7, []int{MTU, MTU, MTU, 7}},
+	}
+	for _, c := range cases {
+		got := Fragments(c.size)
+		if len(got) != len(c.want) {
+			t.Fatalf("Fragments(%d) = %v", c.size, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Fragments(%d) = %v, want %v", c.size, got, c.want)
+			}
+		}
+	}
+}
+
+// Property: fragments always sum to the frame size and never exceed MTU.
+func TestQuickFragmentsConserve(t *testing.T) {
+	f := func(size uint16) bool {
+		sum := 0
+		for _, n := range Fragments(int(size)) {
+			if n > MTU || n < 0 {
+				return false
+			}
+			sum += n
+		}
+		return sum == int(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceLevelNamesAndIntervals(t *testing.T) {
+	v := NewVideo("v", nil)
+	a := NewAudio("a", nil)
+	im := NewImage("i", 100, 100)
+	tx := NewText("t", "x")
+	if a.LevelName(0) != "PCM 16kHz" || a.LevelName(3) != "VADPCM 8kHz" {
+		t.Fatal("audio level names")
+	}
+	if im.LevelName(2) != "GIF 256c" {
+		t.Fatal("image level name")
+	}
+	if tx.LevelName(0) != "text" {
+		t.Fatal("text level name")
+	}
+	if v.FrameInterval() != 40*time.Millisecond || a.FrameInterval() != 20*time.Millisecond {
+		t.Fatal("frame intervals")
+	}
+	if im.FrameInterval() <= 0 || tx.FrameInterval() <= 0 {
+		t.Fatal("still intervals must be positive")
+	}
+	if tx.Bitrate(0) <= 0 || im.Bitrate(1) <= 0 {
+		t.Fatal("still bitrates")
+	}
+	// Text FramesIn windows.
+	if got := tx.FramesIn(0, time.Second, 0); len(got) != 1 {
+		t.Fatalf("text frames = %d", len(got))
+	}
+	if tx.FramesIn(time.Second, 2*time.Second, 0) != nil {
+		t.Fatal("text delivered twice")
+	}
+	// Image secondary frames are empty.
+	if f := im.FrameAt(3, 0); f.Size != 0 {
+		t.Fatalf("image frame 3 size = %d", f.Size)
+	}
+	if f := tx.FrameAt(2, 0); f.Size != 0 {
+		t.Fatalf("text frame 2 size = %d", f.Size)
+	}
+}

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// CrossTraffic describes a background load generator on one link direction:
+// an on/off (burst) source that injects filler packets which compete with
+// the service's traffic for the link's serializer — the "network's load
+// conditions and probabilistic behavior" the paper's buffering is built to
+// absorb.
+type CrossTraffic struct {
+	// Rate is the mean offered rate in bits/s while On.
+	Rate float64
+	// PacketSize is the filler packet payload size (default 1000 bytes).
+	PacketSize int
+	// OnMean/OffMean are the mean burst and silence durations of the
+	// on/off process (exponentially distributed). Zero OffMean means a
+	// constant source.
+	OnMean, OffMean time.Duration
+	// Start/Duration bound the generator's activity (zero Duration =
+	// forever).
+	Start, Duration time.Duration
+}
+
+// crossState runs one cross-traffic source.
+type crossState struct {
+	net      *Network
+	cfg      CrossTraffic
+	from, to string
+	rng      *stats.RNG
+	on       bool
+	stopped  bool
+	epoch    time.Time
+}
+
+// AddCrossTraffic starts a background traffic source on the directed link.
+// The clock drives it; in simulations it participates in the same
+// deterministic event order as everything else.
+func (n *Network) AddCrossTraffic(from, to string, cfg CrossTraffic) {
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 1000
+	}
+	if cfg.Rate <= 0 {
+		return
+	}
+	n.mu.Lock()
+	rng := n.rng.Split()
+	clk := n.clk
+	epoch := n.epoch
+	n.mu.Unlock()
+	cs := &crossState{net: n, cfg: cfg, from: from, to: to, rng: rng, on: true, epoch: epoch}
+	clk.AfterFunc(cfg.Start, cs.tick)
+	if cfg.OffMean > 0 {
+		clk.AfterFunc(cfg.Start+cs.expDur(cfg.OnMean), cs.toggle)
+	}
+}
+
+func (cs *crossState) expDur(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		mean = time.Second
+	}
+	return time.Duration(cs.rng.Exp(float64(mean)))
+}
+
+func (cs *crossState) done(now time.Time) bool {
+	if cs.cfg.Duration <= 0 {
+		return false
+	}
+	return now.Sub(cs.epoch) >= cs.cfg.Start+cs.cfg.Duration
+}
+
+// tick emits one filler packet and schedules the next at the configured
+// rate (exponential inter-arrivals → Poisson packet process).
+func (cs *crossState) tick() {
+	cs.net.mu.Lock()
+	clk := cs.net.clk
+	cs.net.mu.Unlock()
+	now := clk.Now()
+	if cs.stopped || cs.done(now) {
+		return
+	}
+	if cs.on {
+		cs.net.Send(Packet{
+			From:    Addr(cs.from + ":0"),
+			To:      Addr(cs.to + ":0"),
+			Payload: make([]byte, cs.cfg.PacketSize),
+		})
+	}
+	wire := float64((cs.cfg.PacketSize + headerOverhead) * 8)
+	gap := time.Duration(wire / cs.cfg.Rate * float64(time.Second))
+	next := time.Duration(cs.rng.Exp(float64(gap)))
+	if next < time.Microsecond {
+		next = time.Microsecond
+	}
+	clk.AfterFunc(next, cs.tick)
+}
+
+// toggle flips the on/off burst state.
+func (cs *crossState) toggle() {
+	cs.net.mu.Lock()
+	clk := cs.net.clk
+	cs.net.mu.Unlock()
+	now := clk.Now()
+	if cs.stopped || cs.done(now) {
+		return
+	}
+	cs.on = !cs.on
+	mean := cs.cfg.OnMean
+	if !cs.on {
+		mean = cs.cfg.OffMean
+	}
+	clk.AfterFunc(cs.expDur(mean), cs.toggle)
+}

@@ -1,0 +1,457 @@
+// Package netsim is the broadband-network substrate: a deterministic
+// packet-level network simulator with configurable bandwidth, propagation
+// delay, jitter, random and bursty (Gilbert–Elliott) loss, and scripted
+// congestion phases.
+//
+// The paper evaluated its service over 1996-era Internet/ATM testbeds whose
+// only observable effects on the service are per-packet delay, delay
+// variation and loss; netsim reproduces exactly those effects with
+// controlled, repeatable statistics, which is what the buffering,
+// synchronization and QoS-adaptation machinery react to.
+//
+// The simulator is driven by a clock.Clock: with a clock.Virtual it forms a
+// discrete-event simulation, with clock.Wall it delays packets in real time.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// Addr is an endpoint address of the form "host:port".
+type Addr string
+
+// Host returns the host part of the address.
+func (a Addr) Host() string {
+	s := string(a)
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// MakeAddr builds an Addr from host and port.
+func MakeAddr(host string, port int) Addr {
+	return Addr(fmt.Sprintf("%s:%d", host, port))
+}
+
+// Packet is one network datagram.
+type Packet struct {
+	From, To Addr
+	Payload  []byte
+	// Reliable selects the in-order lossless path (the simulator's model
+	// of a TCP connection: losses become retransmission delay instead of
+	// drops). Unreliable packets model UDP: they may be dropped or
+	// reordered by jitter.
+	Reliable bool
+	// SentAt is stamped by the simulator at Send time.
+	SentAt time.Time
+}
+
+// Size returns the wire size in bytes: payload plus a fixed per-packet
+// header overhead (IP+UDP ≈ 28 bytes, counted for both paths for
+// simplicity).
+func (p *Packet) Size() int { return len(p.Payload) + headerOverhead }
+
+const headerOverhead = 28
+
+// Handler receives delivered packets.
+type Handler func(Packet)
+
+// Net is the datagram network the service components are written against:
+// the simulated Network implements it for experiments, and
+// transport.Live implements it over real UDP/TCP sockets for the
+// cmd/hermesd and cmd/hermes binaries.
+type Net interface {
+	// Send injects a packet toward its destination.
+	Send(Packet)
+	// Listen registers (or, with a nil handler, removes) the handler for
+	// an address.
+	Listen(Addr, Handler)
+}
+
+// LinkConfig describes one direction of a link between two hosts.
+type LinkConfig struct {
+	// Bandwidth is the link rate in bits per second (0 = infinite).
+	Bandwidth float64
+	// Delay is the fixed propagation delay.
+	Delay time.Duration
+	// Jitter is the maximum additional uniform random delay per packet.
+	Jitter time.Duration
+	// Loss is the independent per-packet loss probability [0,1).
+	Loss float64
+	// Dup is the probability an unreliable packet is delivered twice
+	// (the duplicate arrives with fresh jitter), modeling routing
+	// pathologies the receiver must tolerate.
+	Dup float64
+	// Burst enables Gilbert–Elliott two-state bursty loss on top of (or
+	// instead of) independent loss.
+	Burst *BurstLoss
+	// QueueLimit bounds the serialization backlog: a packet whose queueing
+	// delay would exceed it is dropped (tail drop). Zero = 500ms.
+	QueueLimit time.Duration
+}
+
+// BurstLoss is a Gilbert–Elliott loss model: the link alternates between a
+// Good state (loss = PGood) and a Bad state (loss = PBad), with per-packet
+// transition probabilities.
+type BurstLoss struct {
+	PGood, PBad            float64 // loss probability in each state
+	PGoodToBad, PBadToGood float64 // transition probabilities per packet
+}
+
+// DefaultLAN approximates a lightly loaded 10 Mb/s campus link.
+func DefaultLAN() LinkConfig {
+	return LinkConfig{Bandwidth: 10_000_000, Delay: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.0005}
+}
+
+// DefaultWAN approximates a mid-90s wide-area Internet path.
+func DefaultWAN() LinkConfig {
+	return LinkConfig{Bandwidth: 2_000_000, Delay: 40 * time.Millisecond, Jitter: 20 * time.Millisecond, Loss: 0.01}
+}
+
+// Phase is one scripted congestion episode on a link: between Start and
+// Start+Duration the link's loss is multiplied, its delay increased and its
+// bandwidth scaled.
+type Phase struct {
+	Start    time.Duration
+	Duration time.Duration
+	// LossFactor multiplies the configured loss probability (≥ 1 for
+	// congestion; capped at 0.95 effective loss).
+	LossFactor float64
+	// ExtraDelay is added to the propagation delay.
+	ExtraDelay time.Duration
+	// ExtraJitter is added to the jitter bound.
+	ExtraJitter time.Duration
+	// BandwidthFactor scales the bandwidth (0 < f ≤ 1 for congestion).
+	BandwidthFactor float64
+}
+
+// LinkStats aggregates one direction's counters.
+type LinkStats struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	Bytes     int64
+	// Delays collects per-packet one-way delays in milliseconds.
+	Delays stats.Sample
+}
+
+// LossRate returns the observed drop fraction.
+func (ls *LinkStats) LossRate() float64 {
+	if ls.Sent == 0 {
+		return 0
+	}
+	return float64(ls.Dropped) / float64(ls.Sent)
+}
+
+type link struct {
+	cfg    LinkConfig
+	phases []Phase
+	rng    *stats.RNG
+	// nextFree is when the serializer finishes the last accepted packet.
+	nextFree time.Time
+	// lastReliableArrival enforces in-order delivery on the reliable path
+	// per link direction.
+	lastReliableArrival time.Time
+	burstBad            bool
+	stats               LinkStats
+}
+
+// egress is a per-host outbound serializer shared by every link leaving the
+// host — the model of a server's access/uplink capacity that all of its
+// clients compete for.
+type egress struct {
+	rate       float64 // bits/s
+	queueLimit time.Duration
+	nextFree   time.Time
+}
+
+// Network is the simulated network: a set of host-pair links and registered
+// endpoints.
+type Network struct {
+	mu        sync.Mutex
+	clk       clock.Clock
+	epoch     time.Time
+	rng       *stats.RNG
+	links     map[string]*link // key host→host
+	egresses  map[string]*egress
+	defaults  LinkConfig
+	endpoints map[Addr]Handler
+	// DropHandler, when set, observes every dropped unreliable packet.
+	DropHandler func(Packet, string)
+	// Sniffer, when set, observes every packet at Send time (before any
+	// loss decision); used for protocol-stack byte accounting.
+	Sniffer func(Packet)
+}
+
+// New creates a network on the given clock. seed drives all randomness.
+func New(clk clock.Clock, seed uint64) *Network {
+	return &Network{
+		clk:       clk,
+		epoch:     clk.Now(),
+		rng:       stats.NewRNG(seed),
+		links:     map[string]*link{},
+		egresses:  map[string]*egress{},
+		defaults:  DefaultLAN(),
+		endpoints: map[Addr]Handler{},
+	}
+}
+
+// SetEgressLimit caps a host's total outbound rate: every packet the host
+// sends, to any destination, passes one shared serializer before its link.
+// A zero queueLimit defaults to 500ms of backlog (tail drop beyond it for
+// unreliable packets).
+func (n *Network) SetEgressLimit(host string, bps float64, queueLimit time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if bps <= 0 {
+		delete(n.egresses, host)
+		return
+	}
+	if queueLimit <= 0 {
+		queueLimit = 500 * time.Millisecond
+	}
+	n.egresses[host] = &egress{rate: bps, queueLimit: queueLimit}
+}
+
+// SetDefaultLink sets the config used for host pairs without an explicit
+// link.
+func (n *Network) SetDefaultLink(cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaults = cfg
+}
+
+// SetLink configures the directed link from one host to another.
+func (n *Network) SetLink(from, to string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.getLinkLocked(from, to)
+	l.cfg = cfg
+}
+
+// SetDuplexLink configures both directions identically.
+func (n *Network) SetDuplexLink(a, b string, cfg LinkConfig) {
+	n.SetLink(a, b, cfg)
+	n.SetLink(b, a, cfg)
+}
+
+// AddPhase appends a congestion phase to the directed link.
+func (n *Network) AddPhase(from, to string, p Phase) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.getLinkLocked(from, to)
+	l.phases = append(l.phases, p)
+	sort.SliceStable(l.phases, func(i, j int) bool { return l.phases[i].Start < l.phases[j].Start })
+}
+
+// AddDuplexPhase appends the phase to both directions.
+func (n *Network) AddDuplexPhase(a, b string, p Phase) {
+	n.AddPhase(a, b, p)
+	n.AddPhase(b, a, p)
+}
+
+func (n *Network) getLinkLocked(from, to string) *link {
+	key := from + "→" + to
+	l, ok := n.links[key]
+	if !ok {
+		l = &link{cfg: n.defaults, rng: n.rng.Split()}
+		n.links[key] = l
+	}
+	return l
+}
+
+// Listen registers a handler for packets addressed to addr, replacing any
+// previous handler. A nil handler unregisters.
+func (n *Network) Listen(addr Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h == nil {
+		delete(n.endpoints, addr)
+		return
+	}
+	n.endpoints[addr] = h
+}
+
+// Stats returns a snapshot of the directed link's counters.
+func (n *Network) Stats(from, to string) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.getLinkLocked(from, to)
+	return l.stats
+}
+
+// activePhase returns the multipliers in effect at offset t.
+func (l *link) activePhase(t time.Duration) (lossF float64, extraD, extraJ time.Duration, bwF float64) {
+	lossF, bwF = 1, 1
+	for _, p := range l.phases {
+		if t >= p.Start && t < p.Start+p.Duration {
+			if p.LossFactor > 0 {
+				lossF *= p.LossFactor
+			}
+			extraD += p.ExtraDelay
+			extraJ += p.ExtraJitter
+			if p.BandwidthFactor > 0 {
+				bwF *= p.BandwidthFactor
+			}
+		}
+	}
+	return lossF, extraD, extraJ, bwF
+}
+
+// Send injects a packet. Delivery (or drop) is decided immediately and the
+// handler is invoked via the clock at the computed arrival time. Sending to
+// an address with no listener silently drops at arrival time.
+func (n *Network) Send(pkt Packet) {
+	pkt.SentAt = n.clk.Now()
+	if sn := n.Sniffer; sn != nil {
+		sn(pkt)
+	}
+	n.mu.Lock()
+	now := pkt.SentAt
+	offset := now.Sub(n.epoch)
+	l := n.getLinkLocked(pkt.From.Host(), pkt.To.Host())
+	l.stats.Sent++
+	l.stats.Bytes += int64(pkt.Size())
+
+	lossF, extraD, extraJ, bwF := l.activePhase(offset)
+
+	// Host egress: one shared serializer for everything the host sends.
+	egressStart := now
+	if eg, ok := n.egresses[pkt.From.Host()]; ok {
+		egTx := time.Duration(float64(pkt.Size()*8) / eg.rate * float64(time.Second))
+		if eg.nextFree.After(egressStart) {
+			egressStart = eg.nextFree
+		}
+		if egressStart.Sub(now) > eg.queueLimit && !pkt.Reliable {
+			l.stats.Dropped++
+			dh := n.DropHandler
+			n.mu.Unlock()
+			if dh != nil {
+				dh(pkt, "egress overflow")
+			}
+			return
+		}
+		eg.nextFree = egressStart.Add(egTx)
+		egressStart = eg.nextFree
+	}
+
+	// Serialization: the link transmits one packet at a time.
+	bw := l.cfg.Bandwidth * bwF
+	var txTime time.Duration
+	if bw > 0 {
+		txTime = time.Duration(float64(pkt.Size()*8) / bw * float64(time.Second))
+	}
+	depart := egressStart
+	if l.nextFree.After(depart) {
+		depart = l.nextFree
+	}
+	queueLimit := l.cfg.QueueLimit
+	if queueLimit == 0 {
+		queueLimit = 500 * time.Millisecond
+	}
+	if depart.Sub(now) > queueLimit && !pkt.Reliable {
+		// Tail drop: the queue is full.
+		l.stats.Dropped++
+		dh := n.DropHandler
+		n.mu.Unlock()
+		if dh != nil {
+			dh(pkt, "queue overflow")
+		}
+		return
+	}
+	l.nextFree = depart.Add(txTime)
+
+	// Loss decision.
+	ploss := l.cfg.Loss * lossF
+	if l.cfg.Burst != nil {
+		b := l.cfg.Burst
+		if l.burstBad {
+			if l.rng.Bool(b.PBadToGood) {
+				l.burstBad = false
+			}
+		} else if l.rng.Bool(b.PGoodToBad) {
+			l.burstBad = true
+		}
+		if l.burstBad {
+			ploss = maxf(ploss, b.PBad*lossF)
+		} else {
+			ploss = maxf(ploss, b.PGood*lossF)
+		}
+	}
+	if ploss > 0.95 {
+		ploss = 0.95
+	}
+
+	delay := l.cfg.Delay + extraD
+	jitterBound := l.cfg.Jitter + extraJ
+	if jitterBound > 0 {
+		delay += time.Duration(l.rng.Float64() * float64(jitterBound))
+	}
+
+	lost := ploss > 0 && l.rng.Bool(ploss)
+	if lost && !pkt.Reliable {
+		l.stats.Dropped++
+		dh := n.DropHandler
+		n.mu.Unlock()
+		if dh != nil {
+			dh(pkt, "loss")
+		}
+		return
+	}
+	arrival := l.nextFree.Add(delay)
+	if lost && pkt.Reliable {
+		// Reliable path: the loss becomes a retransmission, costing one
+		// round trip plus a retransmission of the packet. Repeated losses
+		// compound geometrically.
+		for lost {
+			arrival = arrival.Add(2*(l.cfg.Delay+extraD) + txTime)
+			lost = l.rng.Bool(ploss)
+		}
+	}
+	if pkt.Reliable {
+		// TCP delivers in order per connection; model per link direction.
+		if !arrival.After(l.lastReliableArrival) {
+			arrival = l.lastReliableArrival.Add(time.Microsecond)
+		}
+		l.lastReliableArrival = arrival
+	}
+	l.stats.Delivered++
+	l.stats.Delays.AddDuration(arrival.Sub(now))
+	deliverCopies := 1
+	if !pkt.Reliable && l.cfg.Dup > 0 && l.rng.Bool(l.cfg.Dup) {
+		deliverCopies = 2
+	}
+	var dupDelay time.Duration
+	if deliverCopies == 2 {
+		dupDelay = time.Millisecond + time.Duration(l.rng.Float64()*float64(jitterBound+time.Millisecond))
+	}
+	n.mu.Unlock()
+
+	deliver := func() {
+		n.mu.Lock()
+		h := n.endpoints[pkt.To]
+		n.mu.Unlock()
+		if h != nil {
+			h(pkt)
+		}
+	}
+	n.clk.AfterFunc(arrival.Sub(now), deliver)
+	if deliverCopies == 2 {
+		n.clk.AfterFunc(arrival.Sub(now)+dupDelay, deliver)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

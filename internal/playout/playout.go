@@ -1,0 +1,684 @@
+// Package playout implements the client's presentation scheduler: the
+// component that preprocesses the presentation scenario into per-stream
+// playout processes, enforces intra-media deadlines, measures inter-media
+// skew within synchronization groups, and applies the paper's short-term
+// recovery actions — duplicating frames of a lagging stream and dropping
+// frames of a leading or over-buffered stream — before the long-term
+// quality-grading mechanism at the server kicks in.
+//
+// The scheduler is written against clock.Clock, so the same code runs as a
+// discrete-event simulation (clock.Virtual) and in real time (clock.Wall).
+package playout
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/clock"
+	"repro/internal/media"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// EventKind classifies playout trace events.
+type EventKind int
+
+// Playout event kinds.
+const (
+	// EvStart marks a stream's playout process starting.
+	EvStart EventKind = iota
+	// EvPlay is a frame presented on its device.
+	EvPlay
+	// EvGap is a playout tick that found no data: the previous frame is
+	// duplicated to conceal the gap (buffer underflow).
+	EvGap
+	// EvHold is a deliberate duplication ordered by skew control on a
+	// leading stream.
+	EvHold
+	// EvDrop is a frame discarded by skew or watermark control.
+	EvDrop
+	// EvLate is a still that missed its appearance deadline.
+	EvLate
+	// EvStop marks a stream's playout end.
+	EvStop
+	// EvLink is a timed hyperlink firing.
+	EvLink
+	// EvPause and EvResume bracket user pauses.
+	EvPause
+	// EvResume marks presentation resumption.
+	EvResume
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStart:
+		return "start"
+	case EvPlay:
+		return "play"
+	case EvGap:
+		return "gap"
+	case EvHold:
+		return "hold"
+	case EvDrop:
+		return "drop"
+	case EvLate:
+		return "late"
+	case EvStop:
+		return "stop"
+	case EvLink:
+		return "link"
+	case EvPause:
+		return "pause"
+	case EvResume:
+		return "resume"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry in the playout trace.
+type Event struct {
+	// At is the presentation-relative time of the event.
+	At time.Duration
+	// StreamID is the stream concerned ("" for presentation-level events).
+	StreamID string
+	// Kind classifies the event.
+	Kind EventKind
+	// Frame is the access unit involved (plays, drops).
+	Frame media.Frame
+	// Lateness is how far behind its ideal instant the frame played.
+	Lateness time.Duration
+	// Note carries free-form detail.
+	Note string
+}
+
+// Display records playout events — the trace stand-in for the browser's
+// rendering surface. It is safe for concurrent use.
+type Display struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewDisplay creates an empty display trace.
+func NewDisplay() *Display { return &Display{} }
+
+// Record appends an event.
+func (d *Display) Record(ev Event) {
+	d.mu.Lock()
+	d.events = append(d.events, ev)
+	d.mu.Unlock()
+}
+
+// Events returns a copy of the trace.
+func (d *Display) Events() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Event, len(d.events))
+	copy(out, d.events)
+	return out
+}
+
+// Count returns how many events of kind k (optionally restricted to a
+// stream; "" = all) were recorded.
+func (d *Display) Count(k EventKind, streamID string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, ev := range d.events {
+		if ev.Kind == k && (streamID == "" || ev.StreamID == streamID) {
+			n++
+		}
+	}
+	return n
+}
+
+// Options tunes the presentation scheduler.
+type Options struct {
+	// SkewThreshold is the intermedia skew beyond which short-term
+	// recovery acts. Steinmetz-style lip-sync tolerance is ±80 ms.
+	SkewThreshold time.Duration
+	// SkewCheckInterval is the monitor period.
+	SkewCheckInterval time.Duration
+	// EnableSkewControl turns the short-term recovery on.
+	EnableSkewControl bool
+	// EnableWatermarkControl drops frames when a buffer exceeds its high
+	// watermark.
+	EnableWatermarkControl bool
+	// OnLink is invoked when a timed hyperlink fires.
+	OnLink func(scenario.Link)
+	// StillRetryInterval is how often an unplayed still checks for its
+	// data after missing its deadline.
+	StillRetryInterval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.SkewThreshold <= 0 {
+		o.SkewThreshold = 80 * time.Millisecond
+	}
+	if o.SkewCheckInterval <= 0 {
+		o.SkewCheckInterval = 100 * time.Millisecond
+	}
+	if o.StillRetryInterval <= 0 {
+		o.StillRetryInterval = 50 * time.Millisecond
+	}
+}
+
+// streamState is the runtime state of one playout process.
+type streamState struct {
+	entry    *scenario.Entry
+	buf      *buffer.Buffer
+	interval time.Duration
+	still    bool
+
+	started bool
+	done    bool
+	// mediaPos is the PTS the stream expects to play next.
+	mediaPos time.Duration
+	// holdTicks orders deliberate duplications (skew control on a leader).
+	holdTicks int
+	ticker    *clock.Timer
+	lateness  stats.Sample
+	plays     int
+	gaps      int
+	holds     int
+	drops     int
+	lateStill bool
+}
+
+// Player is the presentation scheduler.
+type Player struct {
+	mu   sync.Mutex
+	clk  clock.Clock
+	sc   *scenario.Scenario
+	sch  *scenario.Schedule
+	bufs *buffer.Set
+	disp *Display
+	opts Options
+
+	origin    time.Time // wall instant of presentation time zero
+	started   bool
+	finished  bool
+	paused    bool
+	pausedAt  time.Duration
+	streams   map[string]*streamState
+	timers    []*clock.Timer
+	skewTimer *clock.Timer
+	linkFired bool
+	// skew samples per sync group (milliseconds).
+	skew map[string]*stats.Sample
+}
+
+// New builds a player over prepared buffers. The schedule must come from
+// the same scenario.
+func New(clk clock.Clock, sc *scenario.Scenario, sch *scenario.Schedule, bufs *buffer.Set, disp *Display, opts Options) *Player {
+	opts.fill()
+	p := &Player{
+		clk: clk, sc: sc, sch: sch, bufs: bufs, disp: disp, opts: opts,
+		streams: map[string]*streamState{},
+		skew:    map[string]*stats.Sample{},
+	}
+	for _, e := range sch.Entries {
+		b := bufs.Get(e.BufferKey)
+		interval := time.Second
+		if b != nil {
+			interval = b.FrameInterval
+		}
+		p.streams[e.Stream.ID] = &streamState{
+			entry:    e,
+			buf:      b,
+			interval: interval,
+			still:    !e.Stream.Type.TimeSensitive(),
+		}
+	}
+	return p
+}
+
+// now returns the current presentation-relative time.
+func (p *Player) now() time.Duration {
+	if p.paused {
+		return p.pausedAt
+	}
+	return p.clk.Since(p.origin)
+}
+
+// Now exposes the presentation clock (0 before Start).
+func (p *Player) Now() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return 0
+	}
+	return p.now()
+}
+
+// Start begins the presentation at the current instant. The caller is
+// responsible for the deliberate initial delay (waiting for buffers to
+// fill) before calling Start.
+func (p *Player) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	p.origin = p.clk.Now()
+	p.armAllLocked(0)
+}
+
+// armAllLocked schedules every pending timer from presentation time from.
+func (p *Player) armAllLocked(from time.Duration) {
+	for _, s := range p.streams {
+		p.armStreamLocked(s, from)
+	}
+	if p.sch.HasLinkAt && !p.linkFired && p.sch.LinkAt >= from {
+		p.addTimer(p.sch.LinkAt-from, p.fireLink)
+	}
+	// The monitor always runs so skew is measured even when the recovery
+	// actions are disabled (the E2 ablation compares the two).
+	p.skewTimer = p.clk.AfterFunc(p.opts.SkewCheckInterval, p.skewCheck)
+}
+
+func (p *Player) addTimer(d time.Duration, fn func()) {
+	t := p.clk.AfterFunc(d, fn)
+	p.timers = append(p.timers, t)
+}
+
+func (p *Player) armStreamLocked(s *streamState, from time.Duration) {
+	if s.done {
+		return
+	}
+	id := s.entry.Stream.ID
+	if !s.started {
+		delay := s.entry.PlayAt - from
+		if delay < 0 {
+			delay = 0
+		}
+		p.addTimer(delay, func() { p.startStream(id) })
+		return
+	}
+	// Already started: resume ticking / end timers.
+	if s.still {
+		if !s.done && s.entry.Stream.Duration > 0 {
+			p.addTimer(s.entry.EndAt-from, func() { p.stopStream(id) })
+		}
+		return
+	}
+	s.ticker = p.clk.AfterFunc(s.interval, func() { p.tick(id) })
+	if s.entry.Stream.Duration > 0 {
+		p.addTimer(s.entry.EndAt-from, func() { p.stopStream(id) })
+	}
+}
+
+func (p *Player) startStream(id string) {
+	p.mu.Lock()
+	s := p.streams[id]
+	if s == nil || s.started || s.done || p.finished || p.paused {
+		p.mu.Unlock()
+		return
+	}
+	s.started = true
+	at := p.now()
+	p.disp.Record(Event{At: at, StreamID: id, Kind: EvStart})
+	if s.still {
+		p.mu.Unlock()
+		p.playStill(id)
+		p.mu.Lock()
+		if s.entry.Stream.Duration > 0 {
+			p.addTimer(s.entry.EndAt-p.now(), func() { p.stopStream(id) })
+		}
+		p.mu.Unlock()
+		return
+	}
+	if s.entry.Stream.Duration > 0 {
+		p.addTimer(s.entry.EndAt-at, func() { p.stopStream(id) })
+	}
+	p.mu.Unlock()
+	p.tick(id)
+}
+
+// playStill attempts to present a still (image/text). If its data has not
+// arrived it records one EvLate and retries.
+func (p *Player) playStill(id string) {
+	p.mu.Lock()
+	s := p.streams[id]
+	if s == nil || s.done || p.finished || p.paused {
+		p.mu.Unlock()
+		return
+	}
+	it, ok := s.buf.Pop()
+	at := p.now()
+	ideal := s.entry.PlayAt
+	if ok {
+		late := at - ideal
+		if late < 0 {
+			late = 0
+		}
+		s.plays++
+		s.lateness.AddDuration(late)
+		p.disp.Record(Event{At: at, StreamID: id, Kind: EvPlay, Frame: it.Frame, Lateness: late})
+		p.mu.Unlock()
+		return
+	}
+	if !s.lateStill {
+		s.lateStill = true
+		s.gaps++
+		p.disp.Record(Event{At: at, StreamID: id, Kind: EvLate, Note: "data not yet arrived"})
+	}
+	p.addTimer(p.opts.StillRetryInterval, func() { p.playStill(id) })
+	p.mu.Unlock()
+}
+
+// tick is one playout-process step for a time-sensitive stream.
+func (p *Player) tick(id string) {
+	p.mu.Lock()
+	s := p.streams[id]
+	if s == nil || s.done || !s.started || p.finished || p.paused {
+		p.mu.Unlock()
+		return
+	}
+	at := p.now()
+	if s.holdTicks > 0 {
+		// Skew control ordered this leader to hold: replay last frame.
+		s.holdTicks--
+		s.holds++
+		p.disp.Record(Event{At: at, StreamID: id, Kind: EvHold, Note: "skew control hold"})
+	} else {
+		// Play only the frame that is actually due: a playout slot whose
+		// expected frame has not arrived is a gap, concealed by
+		// duplicating the previous frame — never papered over by pulling
+		// a future frame forward.
+		duePTS := at - s.entry.PlayAt
+		it, ok := s.buf.PopDue(duePTS)
+		if ok {
+			ideal := s.entry.PlayAt + it.Frame.PTS
+			late := at - ideal
+			if late < 0 {
+				late = 0
+			}
+			s.plays++
+			s.lateness.AddDuration(late)
+			s.mediaPos = it.Frame.PTS + s.interval
+			p.disp.Record(Event{At: at, StreamID: id, Kind: EvPlay, Frame: it.Frame, Lateness: late})
+		} else {
+			// Underflow: conceal with a duplicate; media position holds.
+			s.gaps++
+			p.disp.Record(Event{At: at, StreamID: id, Kind: EvGap, Frame: it.Frame, Note: "underflow duplicate"})
+		}
+	}
+	s.ticker = p.clk.AfterFunc(s.interval, func() { p.tick(id) })
+	p.mu.Unlock()
+}
+
+// stopStream ends one stream's playout.
+func (p *Player) stopStream(id string) {
+	p.mu.Lock()
+	s := p.streams[id]
+	if s == nil || s.done {
+		p.mu.Unlock()
+		return
+	}
+	s.done = true
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+	p.disp.Record(Event{At: p.now(), StreamID: id, Kind: EvStop})
+	p.mu.Unlock()
+}
+
+// fireLink follows the scenario's timed hyperlink and ends the presentation.
+func (p *Player) fireLink() {
+	p.mu.Lock()
+	if p.linkFired || p.finished || p.paused {
+		p.mu.Unlock()
+		return
+	}
+	p.linkFired = true
+	link := p.sc.NextTimedLink(0)
+	at := p.now()
+	p.disp.Record(Event{At: at, StreamID: "", Kind: EvLink, Note: link.Target})
+	cb := p.opts.OnLink
+	p.mu.Unlock()
+	if cb != nil && link != nil {
+		cb(*link)
+	}
+	p.Finish()
+}
+
+// skewCheck is the periodic buffer/synchronization monitor.
+func (p *Player) skewCheck() {
+	p.mu.Lock()
+	if p.finished || p.paused {
+		p.mu.Unlock()
+		return
+	}
+	now := p.now()
+	if p.opts.EnableWatermarkControl {
+		for id, s := range p.streams {
+			if s.still || !s.started || s.done || s.buf == nil {
+				continue
+			}
+			if s.buf.AboveHigh() {
+				// Trim the stale backlog behind the playout position,
+				// never future frames: high occupancy from pre-rolled
+				// upcoming data is healthy, accumulated lateness is not.
+				due := now - s.entry.PlayAt
+				excess := int((s.buf.Occupancy() - s.buf.Window) / s.interval)
+				if excess > 0 {
+					n, floor := s.buf.DropBefore(due, excess)
+					if n > 0 {
+						s.drops += n
+						if floor > s.mediaPos {
+							s.mediaPos = floor
+						}
+						p.disp.Record(Event{At: now, StreamID: id, Kind: EvDrop,
+							Note: fmt.Sprintf("watermark drop ×%d", n)})
+					}
+				}
+			}
+		}
+	}
+	for group, members := range p.sc.SyncGroups() {
+		p.controlGroupLocked(group, members, now)
+	}
+	p.skewTimer = p.clk.AfterFunc(p.opts.SkewCheckInterval, p.skewCheck)
+	p.mu.Unlock()
+}
+
+// controlGroupLocked measures the group's pairwise skew and applies the
+// short-term actions: the lagging stream drops buffered frames to catch up;
+// when it has nothing to drop, the leading stream holds (duplicates).
+func (p *Player) controlGroupLocked(group string, members []*scenario.Stream, now time.Duration) {
+	var lead, lag *streamState
+	for _, m := range members {
+		s := p.streams[m.ID]
+		if s == nil || !s.started || s.done {
+			return // group not fully active
+		}
+		if lead == nil || s.mediaPos > lead.mediaPos {
+			lead = s
+		}
+		if lag == nil || s.mediaPos < lag.mediaPos {
+			lag = s
+		}
+	}
+	if lead == nil || lag == nil || lead == lag {
+		return
+	}
+	skew := lead.mediaPos - lag.mediaPos
+	sample := p.skew[group]
+	if sample == nil {
+		sample = &stats.Sample{}
+		p.skew[group] = sample
+	}
+	sample.AddDuration(skew)
+	if !p.opts.EnableSkewControl || skew <= p.opts.SkewThreshold {
+		return
+	}
+	frames := int(skew / lag.interval)
+	if frames < 1 {
+		frames = 1
+	}
+	if lag.buf != nil && lag.buf.Len() > 0 {
+		n, floor := lag.buf.Drop(frames)
+		lag.drops += n
+		if floor > lag.mediaPos {
+			lag.mediaPos = floor
+		}
+		p.disp.Record(Event{At: now, StreamID: lag.entry.Stream.ID, Kind: EvDrop,
+			Note: fmt.Sprintf("skew catch-up ×%d (group %s)", n, group)})
+		return
+	}
+	holdFrames := int(skew / lead.interval)
+	if holdFrames < 1 {
+		holdFrames = 1
+	}
+	if lead.holdTicks < holdFrames {
+		lead.holdTicks = holdFrames
+		p.disp.Record(Event{At: now, StreamID: lead.entry.Stream.ID, Kind: EvHold,
+			Note: fmt.Sprintf("skew hold ×%d (group %s)", holdFrames, group)})
+	}
+}
+
+// Pause freezes the presentation (user control operation).
+func (p *Player) Pause() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started || p.paused || p.finished {
+		return
+	}
+	p.pausedAt = p.now()
+	p.paused = true
+	p.cancelTimersLocked()
+	p.disp.Record(Event{At: p.pausedAt, Kind: EvPause})
+}
+
+// Resume continues a paused presentation from where it stopped.
+func (p *Player) Resume() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.paused || p.finished {
+		return
+	}
+	p.paused = false
+	p.origin = p.clk.Now().Add(-p.pausedAt)
+	p.disp.Record(Event{At: p.pausedAt, Kind: EvResume})
+	p.armAllLocked(p.pausedAt)
+}
+
+// Paused reports the pause state.
+func (p *Player) Paused() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.paused
+}
+
+// Finish ends the presentation, stopping every stream.
+func (p *Player) Finish() {
+	p.mu.Lock()
+	if p.finished {
+		p.mu.Unlock()
+		return
+	}
+	p.finished = true
+	now := p.now()
+	p.cancelTimersLocked()
+	for id, s := range p.streams {
+		if s.started && !s.done {
+			s.done = true
+			p.disp.Record(Event{At: now, StreamID: id, Kind: EvStop})
+		} else {
+			s.done = true
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Finished reports completion.
+func (p *Player) Finished() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.finished
+}
+
+func (p *Player) cancelTimersLocked() {
+	for _, t := range p.timers {
+		t.Stop()
+	}
+	p.timers = nil
+	if p.skewTimer != nil {
+		p.skewTimer.Stop()
+		p.skewTimer = nil
+	}
+	for _, s := range p.streams {
+		if s.ticker != nil {
+			s.ticker.Stop()
+			s.ticker = nil
+		}
+	}
+}
+
+// StreamReport summarizes one stream's playout quality.
+type StreamReport struct {
+	StreamID string
+	Plays    int
+	Gaps     int
+	Holds    int
+	Drops    int
+	// MeanLatenessMS and MaxLatenessMS summarize play lateness.
+	MeanLatenessMS float64
+	MaxLatenessMS  float64
+	// Expected is the nominal frame count (duration / interval).
+	Expected int
+}
+
+// DeadlineMissRate returns the fraction of expected frames that missed
+// their deadline (gaps) — the intra-media synchronization metric.
+func (r StreamReport) DeadlineMissRate() float64 {
+	if r.Expected == 0 {
+		return 0
+	}
+	return float64(r.Gaps) / float64(r.Expected)
+}
+
+// Report summarizes the whole presentation.
+type Report struct {
+	Streams map[string]StreamReport
+	// Skew holds per-group skew samples in milliseconds.
+	Skew map[string]*stats.Sample
+}
+
+// Report builds the quality summary.
+func (p *Player) Report() Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep := Report{Streams: map[string]StreamReport{}, Skew: p.skew}
+	for id, s := range p.streams {
+		expected := 0
+		if !s.still && s.interval > 0 && s.entry.Stream.Duration > 0 {
+			expected = int(s.entry.Stream.Duration / s.interval)
+		} else if s.still {
+			expected = 1
+		}
+		rep.Streams[id] = StreamReport{
+			StreamID:       id,
+			Plays:          s.plays,
+			Gaps:           s.gaps,
+			Holds:          s.holds,
+			Drops:          s.drops,
+			MeanLatenessMS: s.lateness.Mean(),
+			MaxLatenessMS:  s.lateness.Max(),
+			Expected:       expected,
+		}
+	}
+	return rep
+}
+
+// GroupSkew returns the recorded skew sample for a sync group (nil when the
+// group never had both members active).
+func (p *Player) GroupSkew(group string) *stats.Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.skew[group]
+}

@@ -1,0 +1,279 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qos"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Connect{User: "alice", Password: "pw", Class: qos.Premium, PeakRate: 2e6, MinRate: 5e5, FloorLevel: 3}
+	buf, err := Encode(MsgConnect, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, body, err := Decode(buf)
+	if err != nil || mt != MsgConnect {
+		t.Fatalf("decode: %v %v", mt, err)
+	}
+	var out Connect
+	if err := DecodeBody(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty decode accepted")
+	}
+	var c Connect
+	if err := DecodeBody([]byte("{bad json"), &c); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestMustEncodePanicsOnUnmarshalable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustEncode(MsgError, make(chan int))
+}
+
+func TestDocResponseRoundTrip(t *testing.T) {
+	in := DocResponse{
+		OK:          true,
+		ScenarioSrc: "<TITLE>x</TITLE>",
+		Streams: []StreamAnnounce{
+			{StreamID: "v", SSRC: 42, Port: 5004, PayloadType: 32, Rate: 1.5e6, FrameIntervalUS: 40000, Levels: 5},
+		},
+	}
+	buf := MustEncode(MsgDocResponse, in)
+	_, body, _ := Decode(buf)
+	var out DocResponse
+	if err := DecodeBody(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Streams[0] != in.Streams[0] || out.ScenarioSrc != in.ScenarioSrc {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestMsgTypeNames(t *testing.T) {
+	for mt := MsgConnect; mt <= MsgFeedback; mt++ {
+		if strings.HasPrefix(mt.String(), "msg-") {
+			t.Fatalf("type %d unnamed", mt)
+		}
+	}
+	if MsgType(200).String() != "msg-200" {
+		t.Fatal("unknown type name")
+	}
+}
+
+func TestHappyPathTransitions(t *testing.T) {
+	m := NewMachine()
+	seq := []struct {
+		in   Input
+		want State
+	}{
+		{InConnect, StConnecting},
+		{InAuthNeedSubscribe, StSubscribing},
+		{InSubscribed, StBrowsing},
+		{InRequestDoc, StRequesting},
+		{InDocReady, StViewing},
+		{InPause, StPaused},
+		{InResume, StViewing},
+		{InPresentationEnd, StBrowsing},
+		{InRequestDoc, StRequesting},
+		{InRedirect, StSuspended},
+		{InReturn, StBrowsing},
+		{InDisconnect, StDisconnected},
+	}
+	for _, s := range seq {
+		if err := m.Apply(s.in); err != nil {
+			t.Fatalf("apply %v in %v: %v", s.in, m.State(), err)
+		}
+		if m.State() != s.want {
+			t.Fatalf("after %v: state %v, want %v", s.in, m.State(), s.want)
+		}
+	}
+	if len(m.History()) != len(seq) {
+		t.Fatalf("history = %d", len(m.History()))
+	}
+}
+
+func TestGraceExpiryPath(t *testing.T) {
+	m := NewMachine()
+	for _, in := range []Input{InConnect, InAuthOK, InRequestDoc, InRedirect, InGraceExpired} {
+		if err := m.Apply(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.State() != StDisconnected {
+		t.Fatalf("state = %v", m.State())
+	}
+}
+
+func TestIllegalTransitionsRejected(t *testing.T) {
+	m := NewMachine()
+	err := m.Apply(InPause)
+	if err == nil {
+		t.Fatal("pause in idle accepted")
+	}
+	te, ok := err.(*TransitionError)
+	if !ok || te.From != StIdle || te.Input != InPause {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "illegal") {
+		t.Fatalf("err text = %q", err)
+	}
+	// State unchanged after illegal input.
+	if m.State() != StIdle {
+		t.Fatal("state moved on illegal input")
+	}
+}
+
+func TestDisconnectedIsTerminal(t *testing.T) {
+	m := NewMachine()
+	m.Apply(InConnect)
+	m.Apply(InAuthOK)
+	m.Apply(InDisconnect)
+	for _, in := range Inputs() {
+		if m.Can(in) {
+			t.Fatalf("input %v legal in disconnected", in)
+		}
+	}
+}
+
+func TestAuthRejectReturnsToIdle(t *testing.T) {
+	m := NewMachine()
+	m.Apply(InConnect)
+	if err := m.Apply(InAuthReject); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StIdle {
+		t.Fatalf("state = %v", m.State())
+	}
+	// Idle allows reconnect.
+	if !m.Can(InConnect) {
+		t.Fatal("cannot reconnect")
+	}
+}
+
+func TestEveryStateReachable(t *testing.T) {
+	// BFS over the edge table from StIdle must reach every state.
+	reach := map[State]bool{StIdle: true}
+	frontier := []State{StIdle}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range Edges() {
+			if e.From == s && !reach[e.To] {
+				reach[e.To] = true
+				frontier = append(frontier, e.To)
+			}
+		}
+	}
+	for _, s := range States() {
+		if !reach[s] {
+			t.Errorf("state %v unreachable", s)
+		}
+	}
+}
+
+func TestEveryEdgeDrivable(t *testing.T) {
+	// For every edge in the table, a machine placed in the source state
+	// (by replaying a path) must accept the input. Build paths by BFS.
+	paths := map[State][]Input{StIdle: {}}
+	frontier := []State{StIdle}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range Edges() {
+			if e.From != s {
+				continue
+			}
+			if _, ok := paths[e.To]; !ok {
+				paths[e.To] = append(append([]Input{}, paths[s]...), e.Input)
+				frontier = append(frontier, e.To)
+			}
+		}
+	}
+	covered := 0
+	for _, e := range Edges() {
+		path, ok := paths[e.From]
+		if !ok {
+			t.Fatalf("no path to %v", e.From)
+		}
+		m := NewMachine()
+		for _, in := range path {
+			if err := m.Apply(in); err != nil {
+				t.Fatalf("replay to %v: %v", e.From, err)
+			}
+		}
+		if err := m.Apply(e.Input); err != nil {
+			t.Fatalf("edge %v --%v--> %v: %v", e.From, e.Input, e.To, err)
+		}
+		if m.State() != e.To {
+			t.Fatalf("edge %v --%v--> got %v, want %v", e.From, e.Input, m.State(), e.To)
+		}
+		covered++
+	}
+	if covered != len(Edges()) {
+		t.Fatalf("covered %d/%d edges", covered, len(Edges()))
+	}
+}
+
+func TestStateAndInputNames(t *testing.T) {
+	for _, s := range States() {
+		if s.String() == "unknown" {
+			t.Errorf("state %d unnamed", s)
+		}
+	}
+	for _, in := range Inputs() {
+		if in.String() == "unknown" {
+			t.Errorf("input %d unnamed", in)
+		}
+	}
+	if State(99).String() != "unknown" || Input(99).String() != "unknown" {
+		t.Fatal("out-of-range names")
+	}
+}
+
+// Property: applying any input sequence never panics and either moves along
+// a declared edge or leaves the state unchanged with an error.
+func TestQuickMachineTotal(t *testing.T) {
+	f := func(seq []uint8) bool {
+		m := NewMachine()
+		for _, raw := range seq {
+			in := Input(int(raw) % len(Inputs()))
+			before := m.State()
+			err := m.Apply(in)
+			if err != nil {
+				if m.State() != before {
+					return false
+				}
+				continue
+			}
+			found := false
+			for _, e := range Edges() {
+				if e.From == before && e.Input == in && e.To == m.State() {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package protocol
+
+import "fmt"
+
+// State is one node of the application state transition diagram (Figure 4).
+type State int
+
+// Application states.
+const (
+	// StIdle: no connection.
+	StIdle State = iota
+	// StConnecting: connect request sent, awaiting authentication.
+	StConnecting
+	// StSubscribing: authentication found no account; the subscription
+	// form is being filled.
+	StSubscribing
+	// StBrowsing: connected; the topic list is available.
+	StBrowsing
+	// StRequesting: a document request is in flight.
+	StRequesting
+	// StViewing: a document presentation is playing.
+	StViewing
+	// StPaused: presentation paused by the user.
+	StPaused
+	// StSuspended: the connection is parked with a grace period while
+	// the user visits another server.
+	StSuspended
+	// StDisconnected: terminal.
+	StDisconnected
+)
+
+func (s State) String() string {
+	switch s {
+	case StIdle:
+		return "idle"
+	case StConnecting:
+		return "connecting"
+	case StSubscribing:
+		return "subscribing"
+	case StBrowsing:
+		return "browsing"
+	case StRequesting:
+		return "requesting"
+	case StViewing:
+		return "viewing"
+	case StPaused:
+		return "paused"
+	case StSuspended:
+		return "suspended"
+	case StDisconnected:
+		return "disconnected"
+	default:
+		return "unknown"
+	}
+}
+
+// Input is a state-machine event.
+type Input int
+
+// State machine inputs.
+const (
+	// InConnect: user initiates connection.
+	InConnect Input = iota
+	// InAuthOK: authentication succeeded.
+	InAuthOK
+	// InAuthNeedSubscribe: user unknown, subscription required.
+	InAuthNeedSubscribe
+	// InAuthReject: admission or authentication refused.
+	InAuthReject
+	// InSubscribed: subscription form accepted.
+	InSubscribed
+	// InSubscribeFail: subscription refused.
+	InSubscribeFail
+	// InRequestDoc: user selects a document.
+	InRequestDoc
+	// InDocReady: scenario received, presentation starts.
+	InDocReady
+	// InDocFail: request failed; back to browsing.
+	InDocFail
+	// InRedirect: the document lives on another server: suspend here.
+	InRedirect
+	// InPresentationEnd: the scenario completed (or a link was followed
+	// within the same server): back to browsing.
+	InPresentationEnd
+	// InPause / InResume: user playback control.
+	InPause
+	// InResume resumes a paused presentation.
+	InResume
+	// InReturn: the user comes back to a suspended connection within the
+	// grace period.
+	InReturn
+	// InGraceExpired: the suspended connection's keep-alive ran out.
+	InGraceExpired
+	// InDisconnect: user quits.
+	InDisconnect
+)
+
+func (i Input) String() string {
+	names := []string{
+		"connect", "auth-ok", "auth-need-subscribe", "auth-reject",
+		"subscribed", "subscribe-fail", "request-doc", "doc-ready",
+		"doc-fail", "redirect", "presentation-end", "pause", "resume",
+		"return", "grace-expired", "disconnect",
+	}
+	if int(i) < len(names) {
+		return names[i]
+	}
+	return "unknown"
+}
+
+// transitions is the Figure 4 edge table.
+var transitions = map[State]map[Input]State{
+	StIdle: {
+		InConnect: StConnecting,
+	},
+	StConnecting: {
+		InAuthOK:            StBrowsing,
+		InAuthNeedSubscribe: StSubscribing,
+		InAuthReject:        StIdle,
+		InDisconnect:        StIdle,
+	},
+	StSubscribing: {
+		InSubscribed:    StBrowsing,
+		InSubscribeFail: StIdle,
+		InDisconnect:    StIdle,
+	},
+	StBrowsing: {
+		InRequestDoc: StRequesting,
+		InDisconnect: StDisconnected,
+	},
+	StRequesting: {
+		InDocReady:   StViewing,
+		InDocFail:    StBrowsing,
+		InRedirect:   StSuspended,
+		InDisconnect: StDisconnected,
+	},
+	StViewing: {
+		InPause:           StPaused,
+		InPresentationEnd: StBrowsing,
+		InRequestDoc:      StRequesting,
+		InRedirect:        StSuspended,
+		InDisconnect:      StDisconnected,
+	},
+	StPaused: {
+		InResume:     StViewing,
+		InDisconnect: StDisconnected,
+		InRedirect:   StSuspended,
+	},
+	StSuspended: {
+		InReturn:       StBrowsing,
+		InGraceExpired: StDisconnected,
+		InDisconnect:   StDisconnected,
+	},
+	StDisconnected: {},
+}
+
+// TransitionError reports an input illegal in the current state.
+type TransitionError struct {
+	From  State
+	Input Input
+}
+
+func (e *TransitionError) Error() string {
+	return fmt.Sprintf("protocol: input %q illegal in state %q", e.Input, e.From)
+}
+
+// Machine tracks a session through the Figure 4 state diagram and records
+// its history for coverage analysis.
+type Machine struct {
+	state   State
+	history []Step
+}
+
+// Step is one recorded transition.
+type Step struct {
+	From  State
+	Input Input
+	To    State
+}
+
+// NewMachine starts in StIdle.
+func NewMachine() *Machine { return &Machine{state: StIdle} }
+
+// State returns the current state.
+func (m *Machine) State() State { return m.state }
+
+// Apply performs one transition, returning a TransitionError if the input
+// is illegal in the current state.
+func (m *Machine) Apply(in Input) error {
+	next, ok := transitions[m.state][in]
+	if !ok {
+		return &TransitionError{From: m.state, Input: in}
+	}
+	m.history = append(m.history, Step{From: m.state, Input: in, To: next})
+	m.state = next
+	return nil
+}
+
+// Can reports whether the input is legal in the current state.
+func (m *Machine) Can(in Input) bool {
+	_, ok := transitions[m.state][in]
+	return ok
+}
+
+// History returns the recorded transitions.
+func (m *Machine) History() []Step {
+	out := make([]Step, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// States enumerates all states.
+func States() []State {
+	return []State{StIdle, StConnecting, StSubscribing, StBrowsing,
+		StRequesting, StViewing, StPaused, StSuspended, StDisconnected}
+}
+
+// Inputs enumerates all inputs.
+func Inputs() []Input {
+	return []Input{InConnect, InAuthOK, InAuthNeedSubscribe, InAuthReject,
+		InSubscribed, InSubscribeFail, InRequestDoc, InDocReady, InDocFail,
+		InRedirect, InPresentationEnd, InPause, InResume, InReturn,
+		InGraceExpired, InDisconnect}
+}
+
+// Edges returns the full transition table as steps, for coverage checks.
+func Edges() []Step {
+	var out []Step
+	for _, s := range States() {
+		for _, in := range Inputs() {
+			if to, ok := transitions[s][in]; ok {
+				out = append(out, Step{From: s, Input: in, To: to})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// RTCP packet types (RFC 1889 §6).
+const (
+	TypeSR   = 200 // sender report
+	TypeRR   = 201 // receiver report
+	TypeSDES = 202 // source description
+	TypeBYE  = 203 // goodbye
+)
+
+// ReceptionReport is one reception report block of an SR/RR: the per-source
+// statistics the paper's Client QoS Manager feeds back to the server
+// ("packet's transmission delay, delay jitter and packet loss").
+type ReceptionReport struct {
+	// SSRC identifies the source this block reports on.
+	SSRC uint32
+	// FractionLost is the fraction of packets lost since the previous
+	// report, in 1/256 units.
+	FractionLost uint8
+	// CumulativeLost is the total packets lost for the whole session
+	// (24-bit signed in the wire format).
+	CumulativeLost int32
+	// ExtendedHighSeq is the highest sequence number received, extended
+	// with the wrap count in the top 16 bits.
+	ExtendedHighSeq uint32
+	// Jitter is the interarrival jitter estimate in timestamp units.
+	Jitter uint32
+	// LastSR and DelaySinceLastSR support RTT estimation (middle 32 bits
+	// of the SR NTP timestamp, and the delay in 1/65536 s units).
+	LastSR           uint32
+	DelaySinceLastSR uint32
+}
+
+// LossFraction converts FractionLost to a float in [0,1].
+func (r *ReceptionReport) LossFraction() float64 { return float64(r.FractionLost) / 256 }
+
+// SenderReport is an RTCP SR.
+type SenderReport struct {
+	SSRC        uint32
+	NTPTime     uint64 // 64-bit NTP timestamp
+	RTPTime     uint32
+	PacketCount uint32
+	OctetCount  uint32
+	Reports     []ReceptionReport
+}
+
+// ReceiverReport is an RTCP RR.
+type ReceiverReport struct {
+	SSRC    uint32 // the reporting receiver
+	Reports []ReceptionReport
+}
+
+// Goodbye is an RTCP BYE.
+type Goodbye struct {
+	SSRC   uint32
+	Reason string
+}
+
+// SourceDescription is an RTCP SDES carrying a single CNAME item.
+type SourceDescription struct {
+	SSRC  uint32
+	CNAME string
+}
+
+const rrBlockSize = 24
+
+func marshalHeader(buf []byte, count int, ptype uint8, words int) {
+	buf[0] = Version<<6 | uint8(count&0x1f)
+	buf[1] = ptype
+	binary.BigEndian.PutUint16(buf[2:], uint16(words))
+}
+
+func marshalReport(buf []byte, r *ReceptionReport) {
+	binary.BigEndian.PutUint32(buf[0:], r.SSRC)
+	cum := uint32(r.CumulativeLost) & 0x00ffffff
+	binary.BigEndian.PutUint32(buf[4:], uint32(r.FractionLost)<<24|cum)
+	binary.BigEndian.PutUint32(buf[8:], r.ExtendedHighSeq)
+	binary.BigEndian.PutUint32(buf[12:], r.Jitter)
+	binary.BigEndian.PutUint32(buf[16:], r.LastSR)
+	binary.BigEndian.PutUint32(buf[20:], r.DelaySinceLastSR)
+}
+
+func unmarshalReport(buf []byte) ReceptionReport {
+	word := binary.BigEndian.Uint32(buf[4:])
+	cum := int32(word & 0x00ffffff)
+	if cum&0x00800000 != 0 { // sign-extend 24-bit
+		cum |= ^int32(0x00ffffff)
+	}
+	return ReceptionReport{
+		SSRC:             binary.BigEndian.Uint32(buf[0:]),
+		FractionLost:     uint8(word >> 24),
+		CumulativeLost:   cum,
+		ExtendedHighSeq:  binary.BigEndian.Uint32(buf[8:]),
+		Jitter:           binary.BigEndian.Uint32(buf[12:]),
+		LastSR:           binary.BigEndian.Uint32(buf[16:]),
+		DelaySinceLastSR: binary.BigEndian.Uint32(buf[20:]),
+	}
+}
+
+// Marshal encodes the sender report.
+func (sr *SenderReport) Marshal() []byte {
+	n := len(sr.Reports)
+	size := 28 + n*rrBlockSize
+	buf := make([]byte, size)
+	marshalHeader(buf, n, TypeSR, size/4-1)
+	binary.BigEndian.PutUint32(buf[4:], sr.SSRC)
+	binary.BigEndian.PutUint64(buf[8:], sr.NTPTime)
+	binary.BigEndian.PutUint32(buf[16:], sr.RTPTime)
+	binary.BigEndian.PutUint32(buf[20:], sr.PacketCount)
+	binary.BigEndian.PutUint32(buf[24:], sr.OctetCount)
+	for i := range sr.Reports {
+		marshalReport(buf[28+i*rrBlockSize:], &sr.Reports[i])
+	}
+	return buf
+}
+
+// Marshal encodes the receiver report.
+func (rr *ReceiverReport) Marshal() []byte {
+	n := len(rr.Reports)
+	size := 8 + n*rrBlockSize
+	buf := make([]byte, size)
+	marshalHeader(buf, n, TypeRR, size/4-1)
+	binary.BigEndian.PutUint32(buf[4:], rr.SSRC)
+	for i := range rr.Reports {
+		marshalReport(buf[8+i*rrBlockSize:], &rr.Reports[i])
+	}
+	return buf
+}
+
+// Marshal encodes the BYE packet.
+func (g *Goodbye) Marshal() []byte {
+	reason := []byte(g.Reason)
+	pad := (4 - (len(reason)+1)%4) % 4
+	size := 8 + 1 + len(reason) + pad
+	buf := make([]byte, size)
+	marshalHeader(buf, 1, TypeBYE, size/4-1)
+	binary.BigEndian.PutUint32(buf[4:], g.SSRC)
+	buf[8] = byte(len(reason))
+	copy(buf[9:], reason)
+	return buf
+}
+
+// Marshal encodes the SDES packet with one CNAME item.
+func (sd *SourceDescription) Marshal() []byte {
+	cname := []byte(sd.CNAME)
+	itemLen := 2 + len(cname)     // type + len + text
+	pad := 4 - (4+itemLen)%4      // chunk padded to 32 bits incl. null
+	size := 4 + 4 + itemLen + pad // header + SSRC + item + padding
+	buf := make([]byte, size)
+	marshalHeader(buf, 1, TypeSDES, size/4-1)
+	binary.BigEndian.PutUint32(buf[4:], sd.SSRC)
+	buf[8] = 1 // CNAME
+	buf[9] = byte(len(cname))
+	copy(buf[10:], cname)
+	return buf
+}
+
+// ControlPacket is the union of decoded RTCP packets.
+type ControlPacket struct {
+	SR   *SenderReport
+	RR   *ReceiverReport
+	SDES *SourceDescription
+	BYE  *Goodbye
+}
+
+// UnmarshalControl decodes a single RTCP packet (compound packets: call
+// repeatedly via SplitCompound).
+func UnmarshalControl(buf []byte) (*ControlPacket, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("%w: rtcp %d bytes", ErrMalformed, len(buf))
+	}
+	if v := buf[0] >> 6; v != Version {
+		return nil, fmt.Errorf("%w: rtcp version %d", ErrMalformed, v)
+	}
+	count := int(buf[0] & 0x1f)
+	ptype := buf[1]
+	words := int(binary.BigEndian.Uint16(buf[2:]))
+	if len(buf) < (words+1)*4 {
+		return nil, fmt.Errorf("%w: rtcp truncated", ErrMalformed)
+	}
+	switch ptype {
+	case TypeSR:
+		if len(buf) < 28+count*rrBlockSize {
+			return nil, fmt.Errorf("%w: SR truncated", ErrMalformed)
+		}
+		sr := &SenderReport{
+			SSRC:        binary.BigEndian.Uint32(buf[4:]),
+			NTPTime:     binary.BigEndian.Uint64(buf[8:]),
+			RTPTime:     binary.BigEndian.Uint32(buf[16:]),
+			PacketCount: binary.BigEndian.Uint32(buf[20:]),
+			OctetCount:  binary.BigEndian.Uint32(buf[24:]),
+		}
+		for i := 0; i < count; i++ {
+			sr.Reports = append(sr.Reports, unmarshalReport(buf[28+i*rrBlockSize:]))
+		}
+		return &ControlPacket{SR: sr}, nil
+	case TypeRR:
+		if len(buf) < 8+count*rrBlockSize {
+			return nil, fmt.Errorf("%w: RR truncated", ErrMalformed)
+		}
+		rr := &ReceiverReport{SSRC: binary.BigEndian.Uint32(buf[4:])}
+		for i := 0; i < count; i++ {
+			rr.Reports = append(rr.Reports, unmarshalReport(buf[8+i*rrBlockSize:]))
+		}
+		return &ControlPacket{RR: rr}, nil
+	case TypeSDES:
+		if len(buf) < 10 {
+			return nil, fmt.Errorf("%w: SDES truncated", ErrMalformed)
+		}
+		n := int(buf[9])
+		if len(buf) < 10+n {
+			return nil, fmt.Errorf("%w: SDES item truncated", ErrMalformed)
+		}
+		return &ControlPacket{SDES: &SourceDescription{
+			SSRC:  binary.BigEndian.Uint32(buf[4:]),
+			CNAME: string(buf[10 : 10+n]),
+		}}, nil
+	case TypeBYE:
+		g := &Goodbye{SSRC: binary.BigEndian.Uint32(buf[4:])}
+		if len(buf) > 8 {
+			n := int(buf[8])
+			if len(buf) >= 9+n {
+				g.Reason = string(buf[9 : 9+n])
+			}
+		}
+		return &ControlPacket{BYE: g}, nil
+	default:
+		return nil, fmt.Errorf("%w: rtcp type %d", ErrMalformed, ptype)
+	}
+}
+
+// SplitCompound splits a compound RTCP datagram into individual packets.
+func SplitCompound(buf []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("%w: compound remainder %d bytes", ErrMalformed, len(buf))
+		}
+		words := int(binary.BigEndian.Uint16(buf[2:]))
+		size := (words + 1) * 4
+		if len(buf) < size {
+			return nil, fmt.Errorf("%w: compound truncated", ErrMalformed)
+		}
+		out = append(out, buf[:size])
+		buf = buf[size:]
+	}
+	return out, nil
+}
+
+// NTPTime converts a wall instant to the 64-bit NTP timestamp format used by
+// sender reports.
+func NTPTime(t time.Time) uint64 {
+	const ntpEpochOffset = 2208988800 // seconds between 1900 and 1970
+	secs := uint64(t.Unix()) + ntpEpochOffset
+	frac := uint64(t.Nanosecond()) * (1 << 32) / 1_000_000_000
+	return secs<<32 | frac
+}

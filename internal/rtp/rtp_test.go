@@ -1,0 +1,346 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Marker:         true,
+		PayloadType:    PTMPEG,
+		SequenceNumber: 0xBEEF,
+		Timestamp:      0x12345678,
+		SSRC:           0xCAFEBABE,
+		Payload:        []byte("frame data"),
+	}
+	buf := p.Marshal()
+	if len(buf) != HeaderSize+len(p.Payload) {
+		t.Fatalf("wire size = %d", len(buf))
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Marker != p.Marker || q.PayloadType != p.PayloadType ||
+		q.SequenceNumber != p.SequenceNumber || q.Timestamp != p.Timestamp ||
+		q.SSRC != p.SSRC || !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("round trip: %+v vs %+v", q, p)
+	}
+}
+
+func TestPacketVersionBits(t *testing.T) {
+	p := &Packet{PayloadType: PTPCM}
+	buf := p.Marshal()
+	if buf[0]>>6 != 2 {
+		t.Fatalf("version bits = %d", buf[0]>>6)
+	}
+	buf[0] = 1 << 6 // wrong version
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("accepted wrong version")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted short packet")
+	}
+	// CSRC count beyond buffer.
+	buf := make([]byte, HeaderSize)
+	buf[0] = Version<<6 | 5
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("accepted truncated CSRC list")
+	}
+}
+
+func TestQuickPacketRoundTrip(t *testing.T) {
+	f := func(marker bool, pt uint8, seq uint16, ts, ssrc uint32, payload []byte) bool {
+		p := &Packet{
+			Marker: marker, PayloadType: PayloadType(pt & 0x7f),
+			SequenceNumber: seq, Timestamp: ts, SSRC: ssrc, Payload: payload,
+		}
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return q.Marker == p.Marker && q.PayloadType == p.PayloadType &&
+			q.SequenceNumber == p.SequenceNumber && q.Timestamp == p.Timestamp &&
+			q.SSRC == p.SSRC && bytes.Equal(q.Payload, p.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadTypeNames(t *testing.T) {
+	for _, pt := range []PayloadType{PTPCM, PTADPCM, PTVADPCM, PTJPEG, PTMPEG, PTAVI, PTScenario, PTGIF, PTText} {
+		if s := pt.String(); s == "" || s[0] == 'P' && s[1] == 'T' && pt != PTPCM {
+			// only unknown types render as PTn
+			if s == "" {
+				t.Errorf("PT %d has empty name", pt)
+			}
+		}
+	}
+	if PayloadType(77).String() != "PT77" {
+		t.Fatal("unknown PT name wrong")
+	}
+}
+
+func TestSenderSequencing(t *testing.T) {
+	s := NewSender(42, PTMPEG, 65534)
+	p1 := s.Next(0, []byte("a"), false)
+	p2 := s.Next(time.Second, []byte("b"), false)
+	p3 := s.Next(2*time.Second, []byte("c"), true)
+	if p1.SequenceNumber != 65534 || p2.SequenceNumber != 65535 || p3.SequenceNumber != 0 {
+		t.Fatalf("seqs = %d,%d,%d", p1.SequenceNumber, p2.SequenceNumber, p3.SequenceNumber)
+	}
+	if s.PacketCount() != 3 {
+		t.Fatalf("count = %d", s.PacketCount())
+	}
+	if p2.Timestamp != ClockRate {
+		t.Fatalf("ts = %d, want %d", p2.Timestamp, ClockRate)
+	}
+	sr := s.Report(time.Unix(1000, 0), 2*time.Second)
+	if sr.PacketCount != 3 || sr.OctetCount != 3 {
+		t.Fatalf("SR = %+v", sr)
+	}
+}
+
+func TestTimestampConversion(t *testing.T) {
+	for _, d := range []time.Duration{0, time.Millisecond, time.Second, 90 * time.Second} {
+		ts := ToTimestamp(d)
+		back := FromTimestamp(ts)
+		if diff := back - d; diff < -time.Millisecond || diff > time.Millisecond {
+			t.Errorf("conversion %v → %d → %v", d, ts, back)
+		}
+	}
+}
+
+func TestReceiverLossAccounting(t *testing.T) {
+	r := NewReceiver(7)
+	at := time.Unix(100, 0)
+	// Deliver seqs 0,1,2,4,5 (3 lost).
+	for _, seq := range []uint16{0, 1, 2, 4, 5} {
+		p := &Packet{SequenceNumber: seq, Timestamp: uint32(seq) * 3000, SSRC: 7}
+		r.Observe(p, at, time.Time{})
+		at = at.Add(33 * time.Millisecond)
+	}
+	if r.Expected() != 6 || r.Received() != 5 {
+		t.Fatalf("expected/received = %d/%d", r.Expected(), r.Received())
+	}
+	if r.CumulativeLost() != 1 {
+		t.Fatalf("lost = %d", r.CumulativeLost())
+	}
+	rep := r.Report()
+	if rep.CumulativeLost != 1 || rep.ExtendedHighSeq != 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// fraction = 1/6 * 256 ≈ 42
+	if rep.FractionLost < 40 || rep.FractionLost > 44 {
+		t.Fatalf("fraction = %d", rep.FractionLost)
+	}
+	// Second interval with no loss → fraction 0.
+	for _, seq := range []uint16{6, 7, 8} {
+		r.Observe(&Packet{SequenceNumber: seq, Timestamp: uint32(seq) * 3000}, at, time.Time{})
+		at = at.Add(33 * time.Millisecond)
+	}
+	rep2 := r.Report()
+	if rep2.FractionLost != 0 {
+		t.Fatalf("interval fraction = %d", rep2.FractionLost)
+	}
+}
+
+func TestReceiverSequenceWraparound(t *testing.T) {
+	r := NewReceiver(7)
+	at := time.Unix(100, 0)
+	for _, seq := range []uint16{65533, 65534, 65535, 0, 1} {
+		r.Observe(&Packet{SequenceNumber: seq}, at, time.Time{})
+		at = at.Add(time.Millisecond)
+	}
+	if r.ExtendedHighSeq() != (1<<16)+1 {
+		t.Fatalf("ext high seq = %d", r.ExtendedHighSeq())
+	}
+	if r.Expected() != 5 {
+		t.Fatalf("expected = %d", r.Expected())
+	}
+	if r.CumulativeLost() != 0 {
+		t.Fatalf("lost = %d", r.CumulativeLost())
+	}
+}
+
+func TestReceiverJitterZeroForPerfectSpacing(t *testing.T) {
+	r := NewReceiver(1)
+	at := time.Unix(100, 0)
+	for i := 0; i < 100; i++ {
+		// Arrival spacing exactly matches timestamp spacing → D = 0.
+		p := &Packet{SequenceNumber: uint16(i), Timestamp: ToTimestamp(time.Duration(i) * 40 * time.Millisecond)}
+		r.Observe(p, at.Add(time.Duration(i)*40*time.Millisecond), time.Time{})
+	}
+	if r.Jitter() != 0 {
+		t.Fatalf("jitter = %d for perfect spacing", r.Jitter())
+	}
+}
+
+func TestReceiverJitterGrowsWithVariance(t *testing.T) {
+	r := NewReceiver(1)
+	at := time.Unix(100, 0)
+	for i := 0; i < 200; i++ {
+		jit := time.Duration(i%2) * 20 * time.Millisecond // alternate ±20ms
+		p := &Packet{SequenceNumber: uint16(i), Timestamp: ToTimestamp(time.Duration(i) * 40 * time.Millisecond)}
+		r.Observe(p, at.Add(time.Duration(i)*40*time.Millisecond+jit), time.Time{})
+	}
+	j := r.JitterDuration()
+	if j < 5*time.Millisecond || j > 40*time.Millisecond {
+		t.Fatalf("jitter = %v, want ≈20ms scale", j)
+	}
+}
+
+func TestReceiverDelayTracking(t *testing.T) {
+	r := NewReceiver(1)
+	sent := time.Unix(100, 0)
+	r.Observe(&Packet{SequenceNumber: 0}, sent.Add(80*time.Millisecond), sent)
+	if r.LastDelay() != 80*time.Millisecond {
+		t.Fatalf("delay = %v", r.LastDelay())
+	}
+}
+
+func TestSenderReportRoundTrip(t *testing.T) {
+	sr := &SenderReport{
+		SSRC: 0x11223344, NTPTime: 0xAABBCCDDEEFF0011, RTPTime: 90000,
+		PacketCount: 1000, OctetCount: 500000,
+		Reports: []ReceptionReport{{
+			SSRC: 5, FractionLost: 64, CumulativeLost: 123,
+			ExtendedHighSeq: 70000, Jitter: 450, LastSR: 99, DelaySinceLastSR: 88,
+		}},
+	}
+	cp, err := UnmarshalControl(sr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cp.SR
+	if got == nil || got.SSRC != sr.SSRC || got.NTPTime != sr.NTPTime ||
+		got.PacketCount != sr.PacketCount || got.OctetCount != sr.OctetCount {
+		t.Fatalf("SR = %+v", got)
+	}
+	if len(got.Reports) != 1 || got.Reports[0] != sr.Reports[0] {
+		t.Fatalf("blocks = %+v", got.Reports)
+	}
+}
+
+func TestReceiverReportRoundTrip(t *testing.T) {
+	rr := &ReceiverReport{
+		SSRC: 9,
+		Reports: []ReceptionReport{
+			{SSRC: 1, FractionLost: 10, CumulativeLost: 5, ExtendedHighSeq: 100, Jitter: 7},
+			{SSRC: 2, FractionLost: 0, CumulativeLost: 0, ExtendedHighSeq: 50, Jitter: 1},
+		},
+	}
+	cp, err := UnmarshalControl(rr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.RR == nil || cp.RR.SSRC != 9 || len(cp.RR.Reports) != 2 {
+		t.Fatalf("RR = %+v", cp.RR)
+	}
+	for i := range rr.Reports {
+		if cp.RR.Reports[i] != rr.Reports[i] {
+			t.Fatalf("block %d = %+v", i, cp.RR.Reports[i])
+		}
+	}
+}
+
+func TestNegativeCumulativeLostSignExtension(t *testing.T) {
+	rr := &ReceiverReport{SSRC: 1, Reports: []ReceptionReport{{SSRC: 2, CumulativeLost: -3}}}
+	cp, err := UnmarshalControl(rr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.RR.Reports[0].CumulativeLost != -3 {
+		t.Fatalf("cum lost = %d, want -3", cp.RR.Reports[0].CumulativeLost)
+	}
+}
+
+func TestByeRoundTrip(t *testing.T) {
+	g := &Goodbye{SSRC: 77, Reason: "session over"}
+	cp, err := UnmarshalControl(g.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.BYE == nil || cp.BYE.SSRC != 77 || cp.BYE.Reason != "session over" {
+		t.Fatalf("BYE = %+v", cp.BYE)
+	}
+}
+
+func TestSDESRoundTrip(t *testing.T) {
+	sd := &SourceDescription{SSRC: 31337, CNAME: "client@host"}
+	cp, err := UnmarshalControl(sd.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.SDES == nil || cp.SDES.SSRC != 31337 || cp.SDES.CNAME != "client@host" {
+		t.Fatalf("SDES = %+v", cp.SDES)
+	}
+}
+
+func TestCompoundSplit(t *testing.T) {
+	sr := (&SenderReport{SSRC: 1}).Marshal()
+	rr := (&ReceiverReport{SSRC: 2}).Marshal()
+	bye := (&Goodbye{SSRC: 3, Reason: "x"}).Marshal()
+	var comp []byte
+	comp = append(comp, sr...)
+	comp = append(comp, rr...)
+	comp = append(comp, bye...)
+	parts, err := SplitCompound(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	types := []int{TypeSR, TypeRR, TypeBYE}
+	for i, p := range parts {
+		if int(p[1]) != types[i] {
+			t.Fatalf("part %d type %d", i, p[1])
+		}
+	}
+	if _, err := SplitCompound(comp[:len(comp)-2]); err == nil {
+		t.Fatal("accepted truncated compound")
+	}
+}
+
+func TestUnmarshalControlErrors(t *testing.T) {
+	if _, err := UnmarshalControl([]byte{0x80, 200}); err == nil {
+		t.Fatal("accepted short RTCP")
+	}
+	bad := (&ReceiverReport{SSRC: 1}).Marshal()
+	bad[1] = 250 // unknown type
+	if _, err := UnmarshalControl(bad); err == nil {
+		t.Fatal("accepted unknown RTCP type")
+	}
+	bad2 := (&ReceiverReport{SSRC: 1}).Marshal()
+	bad2[0] = 1 << 6
+	if _, err := UnmarshalControl(bad2); err == nil {
+		t.Fatal("accepted wrong RTCP version")
+	}
+}
+
+func TestNTPTimeMonotone(t *testing.T) {
+	a := NTPTime(time.Unix(1000, 0))
+	b := NTPTime(time.Unix(1000, 500_000_000))
+	c := NTPTime(time.Unix(1001, 0))
+	if !(a < b && b < c) {
+		t.Fatalf("NTP times not monotone: %d %d %d", a, b, c)
+	}
+	if c-a != 1<<32 {
+		t.Fatalf("1s != 2^32 NTP units: %d", c-a)
+	}
+}
+
+func TestLossFraction(t *testing.T) {
+	r := ReceptionReport{FractionLost: 128}
+	if r.LossFraction() != 0.5 {
+		t.Fatalf("LossFraction = %v", r.LossFraction())
+	}
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+// RateFunc maps a stream to its nominal transmission rate in bits per
+// second. The flow scheduler is parameterized on it so the media package can
+// supply codec-accurate rates without a dependency cycle.
+type RateFunc func(*Stream) float64
+
+// FlowSpec is one stream's entry in the flow scenario: the sending start
+// time instance and transmission properties the paper's flow scheduler
+// derives from the presentation scenario.
+type FlowSpec struct {
+	Stream *Stream
+	// SendAt is when the media server must begin transmitting, relative
+	// to session start: the playout start minus the pre-roll lead that
+	// fills the client's media time window.
+	SendAt time.Duration
+	// Rate is the nominal transmission rate in bits per second.
+	Rate float64
+	// Bytes is the total payload volume for the stream (Rate × Duration
+	// for streams; one-shot size for stills is conveyed by Rate over the
+	// lead time).
+	Bytes int64
+	// PreRoll is the lead applied (how far ahead of the playout deadline
+	// transmission starts).
+	PreRoll time.Duration
+}
+
+// FlowOptions tunes flow-scenario computation.
+type FlowOptions struct {
+	// PreRoll is the transmission lead for time-sensitive streams: it
+	// equals the client's media time window so that the buffer holds one
+	// window of data when playout begins.
+	PreRoll time.Duration
+	// StillLead is the lead for images and text (delivered in full before
+	// their appearance deadline).
+	StillLead time.Duration
+	// Rate supplies per-stream nominal rates; nil uses DefaultRates.
+	Rate RateFunc
+}
+
+// DefaultRates approximates mid-1990s codec rates: 1.5 Mb/s MPEG-1 video,
+// 64 kb/s PCM telephone-quality audio, a 64 KiB still image delivered over
+// its lead time, and negligible text.
+func DefaultRates(s *Stream) float64 {
+	switch s.Type {
+	case TypeVideo:
+		return 1_500_000
+	case TypeAudio:
+		return 64_000
+	case TypeImage:
+		return 512 * 1024 // bits, spread over the still lead
+	default:
+		return 8_000
+	}
+}
+
+// BuildFlow computes the flow scenario for every timed stream: "the flow
+// scheduler uses the retrieved presentation scenario to compute a flow
+// scenario for each participating media stream" specifying "the sending
+// start time instances ... as well as other transmission properties".
+func BuildFlow(sc *Scenario, opts FlowOptions) []*FlowSpec {
+	if opts.Rate == nil {
+		opts.Rate = DefaultRates
+	}
+	if opts.PreRoll <= 0 {
+		opts.PreRoll = 2 * time.Second
+	}
+	if opts.StillLead <= 0 {
+		opts.StillLead = opts.PreRoll
+	}
+	var out []*FlowSpec
+	for _, s := range sc.TimedStreams() {
+		lead := opts.PreRoll
+		if !s.Type.TimeSensitive() {
+			lead = opts.StillLead
+		}
+		sendAt := s.Start - lead
+		if sendAt < 0 {
+			sendAt = 0
+		}
+		rate := opts.Rate(s)
+		var bytes int64
+		if s.Type.TimeSensitive() {
+			bytes = int64(rate * s.Duration.Seconds() / 8)
+		} else {
+			bytes = int64(rate / 8)
+		}
+		out = append(out, &FlowSpec{
+			Stream:  s,
+			SendAt:  sendAt,
+			Rate:    rate,
+			Bytes:   bytes,
+			PreRoll: s.Start - sendAt,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SendAt != out[j].SendAt {
+			return out[i].SendAt < out[j].SendAt
+		}
+		return out[i].Stream.ID < out[j].Stream.ID
+	})
+	return out
+}
+
+// PeakBandwidth returns the maximum aggregate nominal rate (bits/s) of
+// simultaneously transmitting streams under the flow scenario, evaluated at
+// every send-start boundary. Stills count over [SendAt, Start); streams over
+// [SendAt, End).
+func PeakBandwidth(flows []*FlowSpec) float64 {
+	var marks []time.Duration
+	for _, f := range flows {
+		marks = append(marks, f.SendAt)
+	}
+	peak := 0.0
+	for _, m := range marks {
+		sum := 0.0
+		for _, f := range flows {
+			end := f.Stream.End()
+			if !f.Stream.Type.TimeSensitive() {
+				end = f.Stream.Start
+				if end <= f.SendAt {
+					end = f.SendAt + time.Millisecond
+				}
+			}
+			if m >= f.SendAt && m < end {
+				sum += f.Rate
+			}
+		}
+		if sum > peak {
+			peak = sum
+		}
+	}
+	return peak
+}

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EventKind classifies timeline events.
+type EventKind int
+
+// Timeline event kinds.
+const (
+	EventStart EventKind = iota
+	EventStop
+	EventLink
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventStop:
+		return "stop"
+	case EventLink:
+		return "link"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one boundary in the scenario timeline.
+type Event struct {
+	At     time.Duration
+	Kind   EventKind
+	Stream *Stream // nil for link events
+	Link   *Link   // nil for stream events
+}
+
+// Timeline returns the scenario's ordered boundary events: every stream
+// start and stop and every timed-link activation, sorted by time with
+// starts before stops at equal instants (a stream handing over to another at
+// the same boundary is considered seamless).
+func Timeline(sc *Scenario) []Event {
+	var evs []Event
+	for _, s := range sc.TimedStreams() {
+		evs = append(evs, Event{At: s.Start, Kind: EventStart, Stream: s})
+		if s.Duration > 0 {
+			evs = append(evs, Event{At: s.End(), Kind: EventStop, Stream: s})
+		}
+	}
+	for i := range sc.Links {
+		l := &sc.Links[i]
+		if l.HasAt {
+			evs = append(evs, Event{At: l.At, Kind: EventLink, Link: l})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Kind < evs[j].Kind
+	})
+	return evs
+}
+
+// RenderTimeline draws an ASCII Gantt chart of the scenario — the textual
+// equivalent of the paper's Figure 2 playout-timeline illustration. Each
+// timed stream gets a row; '=' marks active playout, open-ended stills trail
+// with '-'. width is the chart width in characters.
+func RenderTimeline(sc *Scenario, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	length := sc.Length()
+	if length <= 0 {
+		return "(empty scenario)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %q — length %s\n", sc.Title, length)
+	scale := func(t time.Duration) int {
+		p := int(float64(t) / float64(length) * float64(width))
+		if p > width {
+			p = width
+		}
+		return p
+	}
+	idW := 2
+	for _, s := range sc.TimedStreams() {
+		if len(s.ID) > idW {
+			idW = len(s.ID)
+		}
+	}
+	for _, s := range sc.TimedStreams() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		from := scale(s.Start)
+		to := width
+		fill := byte('-')
+		if s.Duration > 0 {
+			to = scale(s.End())
+			fill = '='
+		}
+		if to <= from {
+			to = from + 1
+			if to > width {
+				from, to = width-1, width
+			}
+		}
+		for i := from; i < to; i++ {
+			row[i] = fill
+		}
+		tag := ""
+		if s.SyncGroup != "" {
+			tag = " [" + s.SyncGroup + "]"
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %5s→%-5s %s%s\n", idW, s.ID, string(row),
+			shortDur(s.Start), shortDurEnd(s), s.Type, tag)
+	}
+	for i := range sc.Links {
+		l := &sc.Links[i]
+		if !l.HasAt {
+			continue
+		}
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		p := scale(l.At)
+		if p >= width {
+			p = width - 1
+		}
+		row[p] = '^'
+		fmt.Fprintf(&b, "%-*s |%s| at %s follow %q\n", idW, "link", string(row), shortDur(l.At), l.Target)
+	}
+	return b.String()
+}
+
+func shortDur(d time.Duration) string {
+	return fmt.Sprintf("%gs", float64(d)/float64(time.Second))
+}
+
+func shortDurEnd(s *Stream) string {
+	if s.Duration == 0 {
+		return "∞"
+	}
+	return shortDur(s.End())
+}
+
+// CheckFigure2Relations verifies the temporal relations the Figure 2
+// narrative states, returning a list of violated relations (empty = all
+// hold). Used by the F2 experiment to assert the reconstructed timeline.
+func CheckFigure2Relations(sc *Scenario) []string {
+	var bad []string
+	need := func(id string) *Stream {
+		s := sc.Stream(id)
+		if s == nil {
+			bad = append(bad, "missing stream "+id)
+		}
+		return s
+	}
+	i1, i2 := need("I1"), need("I2")
+	a1, v := need("A1"), need("V")
+	a2 := need("A2")
+	if len(bad) > 0 {
+		return bad
+	}
+	if i1.Start != 0 {
+		bad = append(bad, "I1 must start at presentation start")
+	}
+	if i2.Start < i1.End() {
+		bad = append(bad, "I2 must appear after I1 ends")
+	}
+	if a1.Start != v.Start || a1.End() != v.End() {
+		bad = append(bad, "A1 and V must start and stop together")
+	}
+	if a1.SyncGroup == "" || a1.SyncGroup != v.SyncGroup {
+		bad = append(bad, "A1 and V must share a sync group")
+	}
+	if a2.Start < a1.End() {
+		bad = append(bad, "A2 must play after the synchronized segment")
+	}
+	return bad
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/rtp"
+	"repro/internal/scenario"
+)
+
+// sender is one media server's per-stream transmission process: it paces the
+// stream's frames according to the flow scenario, encodes each frame at the
+// quality level currently set by the session's QoS manager (the media stream
+// quality converter in action), fragments it to MTU-sized RTP packets and
+// ships them over the appropriate transport (RTP/UDP for time-sensitive
+// streams, the reliable path for stills).
+type sender struct {
+	srv    *Server
+	sess   *session
+	stream *scenario.Stream
+	src    media.Source
+	rtpS   *rtp.Sender
+	flow   *scenario.FlowSpec
+	to     netsim.Addr
+
+	origin   time.Time // flow time zero
+	nextIdx  int
+	timer    *clock.Timer
+	paused   bool
+	pausedAt time.Time
+	disabled bool
+	finished bool
+
+	// counters
+	framesSent  int
+	packetsSent int
+	bytesSent   int64
+	skipped     int // frames withheld while the stream was cut off
+}
+
+func newSender(srv *Server, sess *session, flow *scenario.FlowSpec, src media.Source, ssrc uint32, to netsim.Addr, origin time.Time) *sender {
+	return &sender{
+		srv:    srv,
+		sess:   sess,
+		stream: flow.Stream,
+		src:    src,
+		rtpS:   rtp.NewSender(ssrc, src.PayloadType(0), 0),
+		flow:   flow,
+		to:     to,
+		origin: origin,
+	}
+}
+
+// reliable reports whether this stream uses the lossless in-order path.
+func (sn *sender) reliable() bool { return !sn.stream.Type.TimeSensitive() }
+
+// sendAtFor returns the wall send instant of frame i.
+func (sn *sender) sendAtFor(i int) time.Time {
+	pts := time.Duration(i) * sn.src.FrameInterval()
+	return sn.origin.Add(sn.flow.SendAt + pts)
+}
+
+// start arms the first frame. Caller holds srv.mu.
+func (sn *sender) start() {
+	sn.armLocked()
+}
+
+func (sn *sender) armLocked() {
+	if sn.finished || sn.paused || sn.disabled {
+		return
+	}
+	d := sn.sendAtFor(sn.nextIdx).Sub(sn.srv.clk.Now())
+	if d < 0 {
+		d = 0
+	}
+	sn.timer = sn.srv.clk.AfterFunc(d, sn.emit)
+}
+
+// emit transmits one frame and schedules the next.
+func (sn *sender) emit() {
+	sn.srv.mu.Lock()
+	if sn.finished || sn.paused || sn.disabled {
+		sn.srv.mu.Unlock()
+		return
+	}
+	i := sn.nextIdx
+	pts := time.Duration(i) * sn.src.FrameInterval()
+	// End of stream?
+	if sn.stream.Duration > 0 && pts >= sn.stream.Duration {
+		sn.finished = true
+		sn.srv.mu.Unlock()
+		return
+	}
+	if !sn.stream.Type.TimeSensitive() && i > 0 {
+		// Stills are one-shot.
+		sn.finished = true
+		sn.srv.mu.Unlock()
+		return
+	}
+	level, stopped := sn.sess.qosMgr.Level(sn.stream.ID)
+	sn.nextIdx++
+	if stopped {
+		// Cut off by the long-term mechanism: withhold the frame but
+		// keep pacing so a restore resumes cleanly.
+		sn.skipped++
+		sn.armLocked()
+		sn.srv.mu.Unlock()
+		return
+	}
+	frame := sn.src.FrameAt(i, level)
+	sn.rtpS.PayloadType = sn.src.PayloadType(level)
+	frags := media.Fragments(frame.Size)
+	payload := media.Payload(sn.stream.ID, i, frame.Size)
+	off := 0
+	for fi, fsize := range frags {
+		hdr := media.FrameHeader{
+			Index:     uint32(i),
+			Level:     uint8(frame.Level),
+			Kind:      frame.Kind,
+			Frag:      uint16(fi),
+			FragCount: uint16(len(frags)),
+			FrameSize: uint16(frame.Size),
+		}
+		data := hdr.Marshal(payload[off : off+fsize])
+		off += fsize
+		pkt := sn.rtpS.Next(frame.PTS, data, fi == len(frags)-1)
+		sn.packetsSent++
+		sn.bytesSent += int64(len(data))
+		sn.srv.net.Send(netsim.Packet{
+			From:     netsim.MakeAddr(sn.srv.Name, mediaPort),
+			To:       sn.to,
+			Payload:  pkt.Marshal(),
+			Reliable: sn.reliable(),
+		})
+	}
+	sn.framesSent++
+	sn.armLocked()
+	sn.srv.mu.Unlock()
+}
+
+// pause stops pacing. Caller holds srv.mu.
+func (sn *sender) pause() {
+	if sn.paused || sn.finished {
+		return
+	}
+	sn.paused = true
+	sn.pausedAt = sn.srv.clk.Now()
+	if sn.timer != nil {
+		sn.timer.Stop()
+		sn.timer = nil
+	}
+}
+
+// resume continues pacing, shifting the flow origin by the pause length so
+// inter-frame spacing is preserved. Caller holds srv.mu.
+func (sn *sender) resume() {
+	if !sn.paused || sn.finished {
+		return
+	}
+	sn.paused = false
+	sn.origin = sn.origin.Add(sn.srv.clk.Now().Sub(sn.pausedAt))
+	sn.armLocked()
+}
+
+// restart replays the stream from the beginning (reload). Caller holds
+// srv.mu.
+func (sn *sender) restart(origin time.Time) {
+	if sn.timer != nil {
+		sn.timer.Stop()
+		sn.timer = nil
+	}
+	sn.origin = origin
+	sn.nextIdx = 0
+	sn.finished = false
+	sn.paused = false
+	sn.armLocked()
+}
+
+// disable stops the stream permanently (user disabled this media). Caller
+// holds srv.mu.
+func (sn *sender) disable() {
+	sn.disabled = true
+	if sn.timer != nil {
+		sn.timer.Stop()
+		sn.timer = nil
+	}
+}
+
+// stop tears the sender down. Caller holds srv.mu.
+func (sn *sender) stop() {
+	sn.finished = true
+	if sn.timer != nil {
+		sn.timer.Stop()
+		sn.timer = nil
+	}
+}

@@ -1,0 +1,724 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/qos"
+	"repro/internal/rtp"
+	"repro/internal/scenario"
+)
+
+// ControlPort is the well-known control port of every multimedia server.
+const ControlPort = 5000
+
+// mediaPort is the source port media senders transmit from.
+const mediaPort = 5001
+
+// Options tunes a server.
+type Options struct {
+	// Capacity is the outbound bandwidth for admission control (bits/s).
+	Capacity float64
+	// Grace is how long a suspended connection is kept alive.
+	Grace time.Duration
+	// PreRoll is the flow scheduler's transmission lead over playout
+	// deadlines (fills the client's media time window).
+	PreRoll time.Duration
+	// Policy is the QoS grading policy.
+	Policy qos.Policy
+	// DisableGrading turns the long-term quality adaptation off (the E3
+	// ablation baseline).
+	DisableGrading bool
+}
+
+func (o *Options) fill() {
+	if o.Capacity <= 0 {
+		o.Capacity = 10_000_000
+	}
+	if o.Grace <= 0 {
+		o.Grace = 30 * time.Second
+	}
+	if o.PreRoll <= 0 {
+		o.PreRoll = 2 * time.Second
+	}
+	if o.Policy.Alpha == 0 {
+		o.Policy = qos.DefaultPolicy()
+	}
+}
+
+// Server is one multimedia server node.
+type Server struct {
+	mu sync.Mutex
+
+	// Name is the server's host name on the network.
+	Name string
+
+	clk   clock.Clock
+	net   netsim.Net
+	db    *Database
+	users *auth.DB
+	adm   *qos.Admission
+	opts  Options
+
+	peers []string // other servers' host names for federated search
+
+	sessions  map[string]*session // keyed by client control address
+	byToken   map[string]*session
+	nextID    int
+	nextSSRC  uint32
+	nextQuery int
+	searches  map[int]*pendingSearch
+
+	// annotations holds user remarks per document name ("the user may
+	// also annotate the selected document with his own remarks").
+	annotations map[string][]protocol.AnnotationRecord
+}
+
+// session is one client's server-side state.
+type session struct {
+	id          string
+	user        string
+	client      netsim.Addr
+	connID      int
+	floorLevel  int
+	qosMgr      *qos.Manager
+	senders     map[string]*sender
+	ssrcToID    map[uint32]string
+	doc         string
+	suspended   bool
+	resumeToken string
+	graceTimer  *clock.Timer
+	srTimer     *clock.Timer
+	flowOrigin  time.Time
+	startedAt   time.Time
+}
+
+type pendingSearch struct {
+	client  netsim.Addr
+	hits    []protocol.TopicInfo
+	waiting int
+	timer   *clock.Timer
+}
+
+// New creates a server and registers its control listener on the network.
+func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Database, opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		Name:        name,
+		clk:         clk,
+		net:         net,
+		db:          db,
+		users:       users,
+		adm:         qos.NewAdmission(opts.Capacity),
+		opts:        opts,
+		sessions:    map[string]*session{},
+		byToken:     map[string]*session{},
+		searches:    map[int]*pendingSearch{},
+		annotations: map[string][]protocol.AnnotationRecord{},
+		nextSSRC:    1000,
+	}
+	net.Listen(s.ctrlAddr(), s.handle)
+	return s
+}
+
+func (s *Server) ctrlAddr() netsim.Addr { return netsim.MakeAddr(s.Name, ControlPort) }
+
+// SetPeers configures the other servers for federated search.
+func (s *Server) SetPeers(names []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = append([]string(nil), names...)
+}
+
+// Database exposes the server's document store.
+func (s *Server) Database() *Database { return s.db }
+
+// Admission exposes the admission controller (for experiments).
+func (s *Server) Admission() *qos.Admission { return s.adm }
+
+// Sessions returns the number of live sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// QoSManager returns the grading manager of the session attached to the
+// given client address (nil when unknown); used by experiments to inspect
+// quality trajectories.
+func (s *Server) QoSManager(client netsim.Addr) *qos.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[string(client)]; ok {
+		return sess.qosMgr
+	}
+	return nil
+}
+
+func (s *Server) reply(to netsim.Addr, t protocol.MsgType, body interface{}) {
+	s.net.Send(netsim.Packet{
+		From:     s.ctrlAddr(),
+		To:       to,
+		Payload:  protocol.MustEncode(t, body),
+		Reliable: true,
+	})
+}
+
+// handle dispatches one control packet.
+func (s *Server) handle(pkt netsim.Packet) {
+	mt, body, err := protocol.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch mt {
+	case protocol.MsgConnect:
+		var m protocol.Connect
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onConnect(pkt.From, m)
+		}
+	case protocol.MsgSubscribe:
+		var m protocol.SubscriptionForm
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onSubscribe(pkt.From, m)
+		}
+	case protocol.MsgTopicList:
+		s.reply(pkt.From, protocol.MsgTopics, protocol.Topics{Topics: s.db.Topics(s.Name)})
+	case protocol.MsgSearch:
+		var m protocol.Search
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onSearch(pkt.From, m)
+		}
+	case protocol.MsgSearchResult:
+		var m protocol.SearchResult
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onSearchResult(m)
+		}
+	case protocol.MsgDocRequest:
+		var m protocol.DocRequest
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onDocRequest(pkt.From, m)
+		}
+	case protocol.MsgFeedback:
+		var m protocol.Feedback
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onFeedback(pkt.From, m)
+		}
+	case protocol.MsgPause:
+		s.onMediaOp(pkt.From, mt, protocol.MediaOp{})
+	case protocol.MsgResume:
+		s.onMediaOp(pkt.From, mt, protocol.MediaOp{})
+	case protocol.MsgReload:
+		s.onMediaOp(pkt.From, mt, protocol.MediaOp{})
+	case protocol.MsgDisableMedia:
+		var m protocol.MediaOp
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onMediaOp(pkt.From, mt, m)
+		}
+	case protocol.MsgAnnotate:
+		// Annotations are accepted and logged with the access trail.
+		var m protocol.Annotate
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onAnnotate(pkt.From, m)
+		}
+	case protocol.MsgListAnnotations:
+		var m protocol.ListAnnotations
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onListAnnotations(pkt.From, m)
+		}
+	case protocol.MsgSuspend:
+		s.onSuspend(pkt.From)
+	case protocol.MsgDisconnect:
+		s.onDisconnect(pkt.From)
+	}
+}
+
+func (s *Server) onConnect(from netsim.Addr, m protocol.Connect) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+
+	// Returning to a suspended session within the grace period skips
+	// authentication and admission entirely.
+	if m.ResumeToken != "" {
+		sess, ok := s.byToken[m.ResumeToken]
+		if !ok {
+			s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+				OK: false, Reason: "resume token expired"})
+			return
+		}
+		sess.suspended = false
+		if sess.graceTimer != nil {
+			sess.graceTimer.Stop()
+			sess.graceTimer = nil
+		}
+		delete(s.byToken, m.ResumeToken)
+		sess.resumeToken = ""
+		delete(s.sessions, string(sess.client))
+		sess.client = from
+		s.sessions[string(from)] = sess
+		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+			OK: true, SessionID: sess.id})
+		return
+	}
+
+	// Authentication.
+	u, err := s.users.Authenticate(m.User, m.Password, now)
+	if err == auth.ErrUnknownUser {
+		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+			OK: false, NeedSubscription: true, Reason: "please subscribe"})
+		return
+	}
+	if err != nil {
+		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+			OK: false, Reason: err.Error()})
+		return
+	}
+
+	// Admission: network condition + connection load + QoS floor +
+	// pricing contract.
+	peak := m.PeakRate
+	if peak <= 0 {
+		peak = 2_000_000
+	}
+	dec := s.adm.Request(qos.ConnRequest{
+		User: m.User, Class: u.Class, PeakRate: peak, MinRate: m.MinRate,
+	})
+	if dec.Verdict == qos.Rejected {
+		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+			OK: false, Reason: dec.Reason})
+		return
+	}
+	s.nextID++
+	sess := &session{
+		id:         fmt.Sprintf("%s-sess-%d", s.Name, s.nextID),
+		user:       m.User,
+		client:     from,
+		connID:     dec.ConnID,
+		floorLevel: m.FloorLevel,
+		qosMgr:     qos.NewManager(s.clk, s.opts.Policy),
+		senders:    map[string]*sender{},
+		ssrcToID:   map[uint32]string{},
+		startedAt:  now,
+	}
+	s.sessions[string(from)] = sess
+	s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+		OK: true, SessionID: sess.id,
+		GrantedRate: dec.Rate, Degraded: dec.Verdict == qos.AdmittedDegraded,
+	})
+}
+
+func (s *Server) onSubscribe(from netsim.Addr, m protocol.SubscriptionForm) {
+	err := s.users.Subscribe(auth.User{
+		Name: m.User, Password: m.Password, RealName: m.RealName,
+		Address: m.Address, Email: m.Email, Phone: m.Phone, Class: m.Class,
+	}, s.clk.Now())
+	res := protocol.SubscribeResult{OK: err == nil}
+	if err != nil {
+		res.Reason = err.Error()
+	}
+	s.reply(from, protocol.MsgSubscribeResult, res)
+}
+
+func (s *Server) onSearch(from netsim.Addr, m protocol.Search) {
+	local := s.db.Search(m.Token, s.Name)
+	if m.NoForward {
+		// Fan-out query from a peer server: answer directly.
+		s.reply(from, protocol.MsgSearchResult, protocol.SearchResult{
+			SearchID: m.SearchID, Hits: local,
+		})
+		return
+	}
+	s.mu.Lock()
+	peers := append([]string(nil), s.peers...)
+	if len(peers) == 0 {
+		s.mu.Unlock()
+		s.reply(from, protocol.MsgSearchResult, protocol.SearchResult{Hits: local})
+		return
+	}
+	s.nextQuery++
+	qid := s.nextQuery
+	ps := &pendingSearch{client: from, hits: local, waiting: len(peers)}
+	s.searches[qid] = ps
+	// Safety timeout: answer with whatever arrived.
+	ps.timer = s.clk.AfterFunc(2*time.Second, func() { s.finishSearch(qid) })
+	s.mu.Unlock()
+	for _, p := range peers {
+		s.net.Send(netsim.Packet{
+			From: s.ctrlAddr(),
+			To:   netsim.MakeAddr(p, ControlPort),
+			Payload: protocol.MustEncode(protocol.MsgSearch, protocol.Search{
+				Token: m.Token, NoForward: true, SearchID: qid,
+			}),
+			Reliable: true,
+		})
+	}
+}
+
+func (s *Server) onSearchResult(m protocol.SearchResult) {
+	s.mu.Lock()
+	ps, ok := s.searches[m.SearchID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	ps.hits = append(ps.hits, m.Hits...)
+	ps.waiting--
+	done := ps.waiting == 0
+	s.mu.Unlock()
+	if done {
+		s.finishSearch(m.SearchID)
+	}
+}
+
+func (s *Server) finishSearch(qid int) {
+	s.mu.Lock()
+	ps, ok := s.searches[qid]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.searches, qid)
+	if ps.timer != nil {
+		ps.timer.Stop()
+	}
+	hits := ps.hits
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Server != hits[j].Server {
+			return hits[i].Server < hits[j].Server
+		}
+		return hits[i].Name < hits[j].Name
+	})
+	client := ps.client
+	s.mu.Unlock()
+	s.reply(client, protocol.MsgSearchResult, protocol.SearchResult{Hits: hits})
+}
+
+func (s *Server) onDocRequest(from netsim.Addr, m protocol.DocRequest) {
+	s.mu.Lock()
+	sess, ok := s.sessions[string(from)]
+	if !ok || sess.suspended {
+		s.mu.Unlock()
+		s.reply(from, protocol.MsgDocResponse, protocol.DocResponse{
+			OK: false, Reason: "no active session"})
+		return
+	}
+	doc, ok := s.db.Get(m.Name)
+	if !ok {
+		s.mu.Unlock()
+		s.reply(from, protocol.MsgDocResponse, protocol.DocResponse{
+			OK: false, Reason: "document not found: " + m.Name})
+		return
+	}
+	// Tear down any previous document's flows.
+	s.stopSendersLocked(sess)
+	sess.doc = m.Name
+	sess.qosMgr = qos.NewManager(s.clk, s.opts.Policy)
+	sess.ssrcToID = map[uint32]string{}
+
+	// The flow scheduler computes the flow scenario and activates the
+	// media servers. The pre-roll lead matches the client's media time
+	// window (plus a margin), so that the deliberate initial delay fills
+	// each buffer to exactly its window.
+	preRoll := s.opts.PreRoll
+	if m.WindowMS > 0 {
+		preRoll = time.Duration(m.WindowMS)*time.Millisecond + 100*time.Millisecond
+	}
+	flows := scenario.BuildFlow(doc.Scenario, scenario.FlowOptions{
+		PreRoll: preRoll,
+		Rate: func(st *scenario.Stream) float64 {
+			return media.ForStream(st).Bitrate(0)
+		},
+	})
+	var announces []protocol.StreamAnnounce
+	clientHost := from.Host()
+	base := m.MediaPortBase
+	if base <= 0 {
+		base = 7000
+	}
+	// A short setup delay keeps the first media packets from racing the
+	// DocResponse on the unordered datagram path.
+	origin := s.clk.Now().Add(200 * time.Millisecond)
+	for i, f := range flows {
+		src := media.ForStream(f.Stream)
+		s.nextSSRC++
+		ssrc := s.nextSSRC
+		port := base + i
+		snd := newSender(s, sess, f, src, ssrc, netsim.MakeAddr(clientHost, port), origin)
+		sess.senders[f.Stream.ID] = snd
+		sess.ssrcToID[ssrc] = f.Stream.ID
+		sess.qosMgr.Register(qos.StreamConfig{
+			ID:     f.Stream.ID,
+			Kind:   f.Stream.Type,
+			Group:  f.Stream.SyncGroup,
+			Levels: src.Levels(),
+			Floor:  minInt(sess.floorLevel, src.Levels()-1),
+		})
+		announces = append(announces, protocol.StreamAnnounce{
+			StreamID:        f.Stream.ID,
+			SSRC:            ssrc,
+			Port:            port,
+			PayloadType:     byte(src.PayloadType(0)),
+			Rate:            f.Rate,
+			FrameIntervalUS: src.FrameInterval().Microseconds(),
+			Levels:          src.Levels(),
+		})
+	}
+	s.users.LogRetrieval(sess.user, m.Name, s.clk.Now())
+	s.mu.Unlock()
+
+	s.reply(from, protocol.MsgDocResponse, protocol.DocResponse{
+		OK:          true,
+		Name:        doc.Name,
+		ScenarioSrc: doc.Source,
+		Streams:     announces,
+	})
+	// Activate the media servers and the periodic RTCP sender reports.
+	s.mu.Lock()
+	sess.flowOrigin = origin
+	for _, snd := range sess.senders {
+		snd.start()
+	}
+	if sess.srTimer != nil {
+		sess.srTimer.Stop()
+	}
+	sess.srTimer = s.clk.AfterFunc(5*time.Second, func() { s.sendSenderReports(sess) })
+	s.mu.Unlock()
+}
+
+// sendSenderReports emits one RTCP SR per active media sender so receivers
+// can map RTP timestamps to the sender's wall clock (RFC 1889 §6.3).
+func (s *Server) sendSenderReports(sess *session) {
+	s.mu.Lock()
+	if sess.suspended {
+		s.mu.Unlock()
+		return
+	}
+	now := s.clk.Now()
+	mediaTime := now.Sub(sess.flowOrigin)
+	if mediaTime < 0 {
+		mediaTime = 0
+	}
+	type out struct {
+		to      netsim.Addr
+		payload []byte
+	}
+	var outs []out
+	active := false
+	for _, snd := range sess.senders {
+		if snd.finished || snd.disabled || snd.rtpS.PacketCount() == 0 {
+			continue
+		}
+		active = true
+		sr := snd.rtpS.Report(now, mediaTime)
+		outs = append(outs, out{to: snd.to, payload: sr.Marshal()})
+	}
+	if active || len(sess.senders) > 0 {
+		sess.srTimer = s.clk.AfterFunc(5*time.Second, func() { s.sendSenderReports(sess) })
+	}
+	from := netsim.MakeAddr(s.Name, mediaPort)
+	s.mu.Unlock()
+	for _, o := range outs {
+		s.net.Send(netsim.Packet{From: from, To: o.to, Payload: o.payload})
+	}
+}
+
+func minInt(a, b int) int {
+	if a <= 0 {
+		return b
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (s *Server) onFeedback(from netsim.Addr, m protocol.Feedback) {
+	s.mu.Lock()
+	sess, ok := s.sessions[string(from)]
+	s.mu.Unlock()
+	if !ok || s.opts.DisableGrading {
+		return
+	}
+	parts, err := rtp.SplitCompound(m.RTCP)
+	if err != nil {
+		return
+	}
+	for _, part := range parts {
+		cp, err := rtp.UnmarshalControl(part)
+		if err != nil || cp.RR == nil {
+			continue
+		}
+		for _, block := range cp.RR.Reports {
+			s.mu.Lock()
+			id, ok := sess.ssrcToID[block.SSRC]
+			s.mu.Unlock()
+			if !ok {
+				continue
+			}
+			if acts := sess.qosMgr.Feedback(qos.FromRTCP(id, block, s.clk.Now())); len(acts) > 0 {
+				// Grading changed the stream mix's rate: renegotiate the
+				// session's reservation so freed bandwidth returns to the
+				// admission pool ([KRI 94]-style service renegotiation).
+				s.renegotiateSession(sess)
+			}
+		}
+	}
+}
+
+// renegotiateSession resizes the session's bandwidth reservation to the
+// aggregate nominal rate of its streams at their current quality levels.
+func (s *Server) renegotiateSession(sess *session) {
+	s.mu.Lock()
+	total := 0.0
+	for id, snd := range sess.senders {
+		level, stopped := sess.qosMgr.Level(id)
+		if stopped || snd.finished || snd.disabled {
+			continue
+		}
+		total += snd.src.Bitrate(level)
+	}
+	connID := sess.connID
+	s.mu.Unlock()
+	s.adm.Renegotiate(connID, total)
+}
+
+func (s *Server) onMediaOp(from netsim.Addr, mt protocol.MsgType, m protocol.MediaOp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[string(from)]
+	if !ok {
+		return
+	}
+	switch mt {
+	case protocol.MsgPause:
+		for _, snd := range sess.senders {
+			snd.pause()
+		}
+	case protocol.MsgResume:
+		for _, snd := range sess.senders {
+			snd.resume()
+		}
+	case protocol.MsgReload:
+		origin := s.clk.Now()
+		for _, snd := range sess.senders {
+			snd.restart(origin)
+		}
+	case protocol.MsgDisableMedia:
+		if snd, ok := sess.senders[m.StreamID]; ok {
+			snd.disable()
+		}
+	}
+}
+
+func (s *Server) onAnnotate(from netsim.Addr, m protocol.Annotate) {
+	s.mu.Lock()
+	sess, ok := s.sessions[string(from)]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	doc := sess.doc
+	s.annotations[doc] = append(s.annotations[doc], protocol.AnnotationRecord{
+		User: sess.user, Text: m.Text, AtUnixMilli: s.clk.Now().UnixMilli(),
+	})
+	s.mu.Unlock()
+	s.users.LogRetrieval(sess.user, fmt.Sprintf("annotate %s: %s", doc, m.Text), s.clk.Now())
+}
+
+// onListAnnotations returns the remarks stored for a document.
+func (s *Server) onListAnnotations(from netsim.Addr, m protocol.ListAnnotations) {
+	s.mu.Lock()
+	doc := m.Doc
+	if doc == "" {
+		if sess, ok := s.sessions[string(from)]; ok {
+			doc = sess.doc
+		}
+	}
+	recs := append([]protocol.AnnotationRecord(nil), s.annotations[doc]...)
+	s.mu.Unlock()
+	s.reply(from, protocol.MsgAnnotations, protocol.Annotations{Doc: doc, Records: recs})
+}
+
+func (s *Server) onSuspend(from netsim.Addr) {
+	s.mu.Lock()
+	sess, ok := s.sessions[string(from)]
+	if !ok {
+		s.mu.Unlock()
+		s.reply(from, protocol.MsgSuspendResult, protocol.SuspendResult{OK: false})
+		return
+	}
+	for _, snd := range sess.senders {
+		snd.pause()
+	}
+	sess.suspended = true
+	s.nextID++
+	sess.resumeToken = fmt.Sprintf("%s-tok-%d", s.Name, s.nextID)
+	s.byToken[sess.resumeToken] = sess
+	tok := sess.resumeToken
+	// "The suspended connection remains active for a period of time ...
+	// when this interval is passed the connection closes and the attached
+	// client is informed about the event."
+	sess.graceTimer = s.clk.AfterFunc(s.opts.Grace, func() { s.expireSuspended(tok) })
+	grace := s.opts.Grace
+	s.mu.Unlock()
+	s.reply(from, protocol.MsgSuspendResult, protocol.SuspendResult{
+		OK: true, ResumeToken: tok, GraceSecs: int(grace.Seconds()),
+	})
+}
+
+func (s *Server) expireSuspended(token string) {
+	s.mu.Lock()
+	sess, ok := s.byToken[token]
+	if !ok || !sess.suspended {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.byToken, token)
+	delete(s.sessions, string(sess.client))
+	s.stopSendersLocked(sess)
+	s.adm.Release(sess.connID)
+	s.users.ChargeSession(sess.user, s.clk.Now().Sub(sess.startedAt), s.clk.Now())
+	s.users.LogLogout(sess.user, s.clk.Now())
+	client := sess.client
+	s.mu.Unlock()
+	s.reply(client, protocol.MsgError, protocol.ErrorMsg{Msg: "suspended connection closed: grace period expired"})
+}
+
+func (s *Server) onDisconnect(from netsim.Addr) {
+	s.mu.Lock()
+	sess, ok := s.sessions[string(from)]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.sessions, string(from))
+	if sess.resumeToken != "" {
+		delete(s.byToken, sess.resumeToken)
+	}
+	if sess.graceTimer != nil {
+		sess.graceTimer.Stop()
+	}
+	s.stopSendersLocked(sess)
+	s.adm.Release(sess.connID)
+	s.users.ChargeSession(sess.user, s.clk.Now().Sub(sess.startedAt), s.clk.Now())
+	s.users.LogLogout(sess.user, s.clk.Now())
+	s.mu.Unlock()
+}
+
+func (s *Server) stopSendersLocked(sess *session) {
+	for _, snd := range sess.senders {
+		snd.stop()
+	}
+	sess.senders = map[string]*sender{}
+	if sess.srTimer != nil {
+		sess.srTimer.Stop()
+		sess.srTimer = nil
+	}
+}

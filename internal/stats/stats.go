@@ -1,0 +1,371 @@
+// Package stats provides the small measurement toolkit used by the
+// experiment harness: streaming summaries, exact-percentile samples, fixed
+// width histograms, time series and plain-text table rendering.
+//
+// Everything here is deliberately dependency-free and deterministic so that
+// experiment output is reproducible byte-for-byte.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates a stream of float64 observations and reports count,
+// mean, variance, min and max in O(1) space (Welford's algorithm).
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddDuration records a duration observation in milliseconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(float64(d) / float64(time.Millisecond)) }
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the sample variance (0 for fewer than two observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Sample retains every observation for exact percentile queries.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(float64(d) / float64(time.Millisecond)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. It returns 0 when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// Values returns a copy of the observations in insertion order is not
+// guaranteed; the slice is sorted ascending.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Histogram counts observations into fixed-width bins over [Lo, Hi); values
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi float64
+	bins   []int
+	under  int
+	over   int
+	n      int
+	sum    float64
+}
+
+// NewHistogram builds a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	h.sum += x
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.bins)))
+		if i == len(h.bins) { // x == Hi boundary via float rounding
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the mean of all observations, including out-of-range ones.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Underflow and Overflow report out-of-range counts.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow reports the number of observations at or above Hi.
+func (h *Histogram) Overflow() int { return h.over }
+
+// String renders a compact ASCII bar chart of the histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 1
+	for _, c := range h.bins {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		bar := strings.Repeat("#", c*40/maxC)
+		fmt.Fprintf(&b, "[%8.2f,%8.2f) %6d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.over)
+	}
+	return b.String()
+}
+
+// Point is one time-stamped observation in a Series.
+type Point struct {
+	T time.Duration // offset from the series origin
+	V float64
+}
+
+// Series is an append-only time series of observations, used to record
+// quality-level and occupancy trajectories during experiments.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// Add appends an observation at offset t.
+func (s *Series) Add(t time.Duration, v float64) { s.points = append(s.points, Point{t, v}) }
+
+// Points returns the recorded points in insertion order.
+func (s *Series) Points() []Point { return s.points }
+
+// N returns the number of points.
+func (s *Series) N() int { return len(s.points) }
+
+// Last returns the most recent point; ok is false when empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// At returns the value in effect at offset t (the last point with T ≤ t);
+// ok is false when t precedes the first point.
+func (s *Series) At(t time.Duration) (float64, bool) {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.points[i-1].V, true
+}
+
+// TimeWeightedMean integrates the step function described by the series over
+// [0, horizon] and returns the mean value. Empty series yield 0.
+func (s *Series) TimeWeightedMean(horizon time.Duration) float64 {
+	if len(s.points) == 0 || horizon <= 0 {
+		return 0
+	}
+	var acc float64
+	for i, p := range s.points {
+		if p.T >= horizon {
+			break
+		}
+		end := horizon
+		if i+1 < len(s.points) && s.points[i+1].T < horizon {
+			end = s.points[i+1].T
+		}
+		acc += p.V * float64(end-p.T)
+	}
+	// Before the first point the value is taken as the first value.
+	if s.points[0].T > 0 {
+		first := s.points[0].T
+		if first > horizon {
+			first = horizon
+		}
+		acc += s.points[0].V * float64(first)
+	}
+	return acc / float64(horizon)
+}
+
+// Table renders aligned plain-text tables for experiment output.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.1fms", float64(v)/float64(time.Millisecond))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(t.headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,403 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("Std = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Fatal("empty summary must report zeros")
+	}
+	s.Add(3.5)
+	if s.Var() != 0 {
+		t.Fatal("single observation variance must be 0")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single observation min/max wrong")
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Mean(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Mean = %v ms, want 1.5", got)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		p, want float64
+	}{{0, 1}, {100, 100}, {50, 50.5}, {95, 95.05}}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Median = %v, want 50.5", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.N() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestSampleInterleavedAddAndQuery(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Fatal("min wrong")
+	}
+	s.Add(-5) // after a query; must re-sort
+	if s.Min() != -5 || s.Max() != 10 {
+		t.Fatalf("Min/Max = %v/%v after re-add", s.Min(), s.Max())
+	}
+}
+
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		p = math.Mod(math.Abs(p), 101)
+		var s Sample
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			s.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		got := s.Percentile(p)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Underflow() != 1 {
+		t.Fatalf("underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Bin(0) != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d, want 2", h.Bin(0))
+	}
+	if h.Bin(1) != 1 { // 2
+		t.Fatalf("bin1 = %d, want 1", h.Bin(1))
+	}
+	if h.Bin(4) != 1 { // 9.99
+		t.Fatalf("bin4 = %d, want 1", h.Bin(4))
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d, want 7", h.N())
+	}
+}
+
+func TestHistogramDegenerateArgs(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid hi and bins get repaired
+	h.Add(5)
+	if h.N() != 1 || h.Bins() != 1 {
+		t.Fatal("degenerate histogram not repaired")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("missing bars in %q", out)
+	}
+}
+
+func TestSeriesAtAndLast(t *testing.T) {
+	var s Series
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series")
+	}
+	if _, ok := s.At(time.Second); ok {
+		t.Fatal("At on empty series")
+	}
+	s.Add(0, 3)
+	s.Add(10*time.Second, 2)
+	s.Add(20*time.Second, 1)
+	if v, ok := s.At(15 * time.Second); !ok || v != 2 {
+		t.Fatalf("At(15s) = %v,%v; want 2,true", v, ok)
+	}
+	if v, ok := s.At(0); !ok || v != 3 {
+		t.Fatalf("At(0) = %v,%v; want 3,true", v, ok)
+	}
+	p, ok := s.Last()
+	if !ok || p.V != 1 {
+		t.Fatalf("Last = %v,%v", p, ok)
+	}
+}
+
+func TestSeriesTimeWeightedMean(t *testing.T) {
+	var s Series
+	s.Add(0, 4)
+	s.Add(10*time.Second, 2)
+	// 10s at 4, then 10s at 2 → mean 3 over 20s.
+	if got := s.TimeWeightedMean(20 * time.Second); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("TWM = %v, want 3", got)
+	}
+	// Horizon inside the first segment.
+	if got := s.TimeWeightedMean(5 * time.Second); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("TWM(5s) = %v, want 4", got)
+	}
+}
+
+func TestSeriesTimeWeightedMeanLateStart(t *testing.T) {
+	var s Series
+	s.Add(5*time.Second, 10)
+	// Value before the first point counts as the first value.
+	if got := s.TimeWeightedMean(10 * time.Second); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("TWM = %v, want 10", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value", "ms")
+	tb.AddRow("alpha", 3.14159, 1500*time.Microsecond)
+	tb.AddRow("b", 2, time.Second)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float not formatted: %q", out)
+	}
+	if !strings.Contains(out, "1.5ms") || !strings.Contains(out, "1000.0ms") {
+		t.Fatalf("durations not formatted: %q", out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", tb.Rows())
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("nearby seeds correlated: %d/100 collisions", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUniformMoments(t *testing.T) {
+	r := NewRNG(11)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(r.Uniform(2, 4))
+	}
+	if math.Abs(s.Mean()-3) > 0.02 {
+		t.Fatalf("uniform mean = %v, want ≈3", s.Mean())
+	}
+	if s.Min() < 2 || s.Max() >= 4 {
+		t.Fatalf("uniform range [%v,%v] outside [2,4)", s.Min(), s.Max())
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(12)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(r.Norm(10, 2))
+	}
+	if math.Abs(s.Mean()-10) > 0.05 {
+		t.Fatalf("norm mean = %v, want ≈10", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 0.05 {
+		t.Fatalf("norm std = %v, want ≈2", s.Std())
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(r.Exp(5))
+	}
+	if math.Abs(s.Mean()-5) > 0.15 {
+		t.Fatalf("exp mean = %v, want ≈5", s.Mean())
+	}
+	if s.Min() < 0 {
+		t.Fatal("exp produced negative value")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(99)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d/100", same)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestSampleAddDurationAndValues(t *testing.T) {
+	var s Sample
+	s.AddDuration(2500 * time.Microsecond)
+	s.Add(1)
+	if got := s.Mean(); math.Abs(got-1.75) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	vals := s.Values()
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2.5 {
+		t.Fatalf("values = %v", vals)
+	}
+	// Values returns a copy.
+	vals[0] = 99
+	if s.Min() == 99 {
+		t.Fatal("Values aliases internal storage")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	if h.Mean() != 0 {
+		t.Fatal("empty mean")
+	}
+	h.Add(2)
+	h.Add(4)
+	h.Add(100) // overflow still counts toward the mean
+	if got := h.Mean(); math.Abs(got-106.0/3) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestSeriesPointsAndN(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 1)
+	s.Add(2*time.Second, 2)
+	pts := s.Points()
+	if s.N() != 2 || len(pts) != 2 || pts[1].V != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestRNGIntnUniformity(t *testing.T) {
+	r := NewRNG(77)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("bucket %d = %d, want ≈10000", i, c)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package transport implements netsim.Net over real operating-system
+// sockets, so the same server and client code that runs in simulation also
+// runs as live networked binaries (cmd/hermesd, cmd/hermes).
+//
+// Host names are mapped onto distinct loopback addresses (127.0.0.x), which
+// lets several "hosts" — multiple Hermes servers plus browsers — coexist on
+// one machine with the same well-known ports the architecture uses.
+// Unreliable packets travel as UDP datagrams to the destination address;
+// reliable packets travel over per-host-pair TCP connections (one accept
+// socket per host on MuxPort) with length-prefixed frames carrying the
+// from/to addresses, matching the paper's TCP-for-control/stills,
+// RTP-over-UDP-for-audio-video split (Figure 5).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// MuxPort is the per-host TCP port multiplexing all reliable traffic.
+const MuxPort = 4999
+
+// Live is a netsim.Net backed by real sockets.
+type Live struct {
+	mu       sync.Mutex
+	hosts    map[string]string // host name → IP
+	nextIP   int
+	handlers map[netsim.Addr]netsim.Handler
+	udp      map[netsim.Addr]*net.UDPConn
+	tcpLn    map[string]net.Listener // per local host
+	tcpOut   map[string]net.Conn     // per destination host
+	tcpIn    []net.Conn              // accepted inbound connections
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewLive creates an empty live network.
+func NewLive() *Live {
+	return &Live{
+		hosts:    map[string]string{},
+		handlers: map[netsim.Addr]netsim.Handler{},
+		udp:      map[netsim.Addr]*net.UDPConn{},
+		tcpLn:    map[string]net.Listener{},
+		tcpOut:   map[string]net.Conn{},
+	}
+}
+
+// hostIP returns (assigning if needed) the loopback IP for a host name.
+func (l *Live) hostIP(host string) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hostIPLocked(host)
+}
+
+func (l *Live) hostIPLocked(host string) string {
+	if ip, ok := l.hosts[host]; ok {
+		return ip
+	}
+	// Derive a stable loopback address from the host name so independent
+	// processes (cmd/hermesd and cmd/hermes) agree without coordination;
+	// explicit MapHost entries override on collision.
+	h := uint32(2166136261)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= 16777619
+	}
+	ip := fmt.Sprintf("127.0.%d.%d", 1+h%200, 1+(h>>8)%250)
+	l.hosts[host] = ip
+	return ip
+}
+
+// MapHost pins a host name to a specific IP (overriding the derived
+// loopback address); must be called before the host is used.
+func (l *Live) MapHost(host, ip string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hosts[host] = ip
+}
+
+// ParseHostMap parses "host=ip,host=ip" flag syntax into MapHost calls.
+func (l *Live) ParseHostMap(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, part := range splitComma(s) {
+		i := indexByte(part, '=')
+		if i <= 0 || i == len(part)-1 {
+			return fmt.Errorf("transport: bad host mapping %q", part)
+		}
+		l.MapHost(part[:i], part[i+1:])
+	}
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Listen implements netsim.Net. The first listen on a host also starts its
+// reliable-traffic TCP accept loop.
+func (l *Live) Listen(addr netsim.Addr, h netsim.Handler) {
+	l.mu.Lock()
+	if h == nil {
+		delete(l.handlers, addr)
+		if c, ok := l.udp[addr]; ok {
+			c.Close()
+			delete(l.udp, addr)
+		}
+		l.mu.Unlock()
+		return
+	}
+	l.handlers[addr] = h
+	host := addr.Host()
+	ip := l.hostIPLocked(host)
+	needTCP := l.tcpLn[host] == nil
+	needUDP := l.udp[addr] == nil
+	l.mu.Unlock()
+
+	if needTCP {
+		ln, err := net.Listen("tcp", fmt.Sprintf("%s:%d", ip, MuxPort))
+		if err == nil {
+			l.mu.Lock()
+			l.tcpLn[host] = ln
+			l.mu.Unlock()
+			l.wg.Add(1)
+			go l.acceptLoop(ln)
+		}
+	}
+	if needUDP {
+		port := portOf(addr)
+		uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(ip), Port: port})
+		if err == nil {
+			l.mu.Lock()
+			l.udp[addr] = uc
+			l.mu.Unlock()
+			l.wg.Add(1)
+			go l.udpLoop(addr, uc)
+		}
+	}
+}
+
+func portOf(addr netsim.Addr) int {
+	s := string(addr)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			p := 0
+			for _, c := range s[i+1:] {
+				p = p*10 + int(c-'0')
+			}
+			return p
+		}
+	}
+	return 0
+}
+
+func (l *Live) udpLoop(addr netsim.Addr, uc *net.UDPConn) {
+	defer l.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := uc.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		payload := buf[:n]
+		// The UDP payload is framed with from/to like TCP so the handler
+		// sees the logical addresses.
+		pkt, ok := decodeFrame(payload)
+		if !ok {
+			continue
+		}
+		l.dispatch(pkt)
+	}
+}
+
+func (l *Live) acceptLoop(ln net.Listener) {
+	defer l.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.tcpIn = append(l.tcpIn, conn)
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.readLoop(conn)
+	}
+}
+
+func (l *Live) readLoop(conn net.Conn) {
+	defer l.wg.Done()
+	defer conn.Close()
+	for {
+		var sz [4]byte
+		if _, err := io.ReadFull(conn, sz[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(sz[:])
+		if n > 64<<20 {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		pkt, ok := decodeFrame(frame)
+		if !ok {
+			continue
+		}
+		l.dispatch(pkt)
+	}
+}
+
+func (l *Live) dispatch(pkt netsim.Packet) {
+	l.mu.Lock()
+	h := l.handlers[pkt.To]
+	l.mu.Unlock()
+	if h != nil {
+		h(pkt)
+	}
+}
+
+// encodeFrame packs from/to/payload into one frame (without the TCP length
+// prefix).
+func encodeFrame(pkt netsim.Packet) []byte {
+	from, to := []byte(pkt.From), []byte(pkt.To)
+	out := make([]byte, 2+len(from)+2+len(to)+len(pkt.Payload))
+	i := 0
+	binary.BigEndian.PutUint16(out[i:], uint16(len(from)))
+	i += 2
+	i += copy(out[i:], from)
+	binary.BigEndian.PutUint16(out[i:], uint16(len(to)))
+	i += 2
+	i += copy(out[i:], to)
+	copy(out[i:], pkt.Payload)
+	return out
+}
+
+func decodeFrame(buf []byte) (netsim.Packet, bool) {
+	if len(buf) < 2 {
+		return netsim.Packet{}, false
+	}
+	fl := int(binary.BigEndian.Uint16(buf))
+	if len(buf) < 2+fl+2 {
+		return netsim.Packet{}, false
+	}
+	from := netsim.Addr(buf[2 : 2+fl])
+	rest := buf[2+fl:]
+	tl := int(binary.BigEndian.Uint16(rest))
+	if len(rest) < 2+tl {
+		return netsim.Packet{}, false
+	}
+	to := netsim.Addr(rest[2 : 2+tl])
+	payload := append([]byte(nil), rest[2+tl:]...)
+	return netsim.Packet{From: from, To: to, Payload: payload, SentAt: time.Now()}, true
+}
+
+// Send implements netsim.Net.
+func (l *Live) Send(pkt netsim.Packet) {
+	pkt.SentAt = time.Now()
+	if pkt.Reliable {
+		l.sendTCP(pkt)
+		return
+	}
+	l.sendUDP(pkt)
+}
+
+func (l *Live) sendUDP(pkt netsim.Packet) {
+	ip := l.hostIP(pkt.To.Host())
+	raddr := &net.UDPAddr{IP: net.ParseIP(ip), Port: portOf(pkt.To)}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	conn.Write(encodeFrame(pkt))
+}
+
+func (l *Live) sendTCP(pkt netsim.Packet) {
+	host := pkt.To.Host()
+	l.mu.Lock()
+	conn := l.tcpOut[host]
+	l.mu.Unlock()
+	if conn == nil {
+		ip := l.hostIP(host)
+		c, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", ip, MuxPort), 2*time.Second)
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		if l.tcpOut[host] == nil {
+			l.tcpOut[host] = c
+			conn = c
+		} else {
+			c.Close()
+			conn = l.tcpOut[host]
+		}
+		l.mu.Unlock()
+	}
+	frame := encodeFrame(pkt)
+	buf := make([]byte, 4+len(frame))
+	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+	copy(buf[4:], frame)
+	l.mu.Lock()
+	_, err := conn.Write(buf)
+	l.mu.Unlock()
+	if err != nil {
+		l.mu.Lock()
+		if l.tcpOut[host] == conn {
+			delete(l.tcpOut, host)
+		}
+		l.mu.Unlock()
+		conn.Close()
+	}
+}
+
+// Close shuts every socket down and waits for the loops to exit.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	for _, ln := range l.tcpLn {
+		ln.Close()
+	}
+	for _, c := range l.udp {
+		c.Close()
+	}
+	for _, c := range l.tcpOut {
+		c.Close()
+	}
+	for _, c := range l.tcpIn {
+		c.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+var _ netsim.Net = (*Live)(nil)

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/hml"
+	"repro/internal/netsim"
+	"repro/internal/qos"
+	"repro/internal/server"
+
+	hclient "repro/internal/client"
+)
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition never met")
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	pkt := netsim.Packet{From: "a:1", To: "b:2", Payload: []byte("hello")}
+	got, ok := decodeFrame(encodeFrame(pkt))
+	if !ok || got.From != pkt.From || got.To != pkt.To || string(got.Payload) != "hello" {
+		t.Fatalf("round trip = %+v %v", got, ok)
+	}
+	if _, ok := decodeFrame([]byte{0}); ok {
+		t.Fatal("short frame accepted")
+	}
+	if _, ok := decodeFrame([]byte{0, 5, 'x'}); ok {
+		t.Fatal("truncated from accepted")
+	}
+}
+
+func TestHostIPAssignment(t *testing.T) {
+	l := NewLive()
+	defer l.Close()
+	a := l.hostIP("alpha")
+	b := l.hostIP("beta")
+	if a == b {
+		t.Fatal("hosts share an IP")
+	}
+	if l.hostIP("alpha") != a {
+		t.Fatal("IP not stable")
+	}
+}
+
+func TestPortOf(t *testing.T) {
+	if portOf("host:1234") != 1234 {
+		t.Fatal("portOf wrong")
+	}
+	if portOf("noport") != 0 {
+		t.Fatal("portOf no colon")
+	}
+}
+
+func TestUDPAndTCPDelivery(t *testing.T) {
+	l := NewLive()
+	defer l.Close()
+	var mu sync.Mutex
+	var got []netsim.Packet
+	l.Listen("recv:8000", func(p netsim.Packet) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	time.Sleep(50 * time.Millisecond)
+	l.Send(netsim.Packet{From: "send:1", To: "recv:8000", Payload: []byte("udp"), Reliable: false})
+	l.Send(netsim.Packet{From: "send:1", To: "recv:8000", Payload: []byte("tcp"), Reliable: true})
+	waitFor(t, 3*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for _, p := range got {
+		seen[string(p.Payload)] = true
+		if p.From != "send:1" {
+			t.Fatalf("from = %q", p.From)
+		}
+	}
+	if !seen["udp"] || !seen["tcp"] {
+		t.Fatalf("payloads = %v", seen)
+	}
+}
+
+func TestUnlistenStopsDelivery(t *testing.T) {
+	l := NewLive()
+	defer l.Close()
+	n := 0
+	var mu sync.Mutex
+	l.Listen("r:8100", func(netsim.Packet) { mu.Lock(); n++; mu.Unlock() })
+	time.Sleep(50 * time.Millisecond)
+	l.Send(netsim.Packet{From: "s:1", To: "r:8100", Payload: []byte("x"), Reliable: true})
+	waitFor(t, 2*time.Second, func() bool { mu.Lock(); defer mu.Unlock(); return n == 1 })
+	l.Listen("r:8100", nil)
+	l.Send(netsim.Packet{From: "s:1", To: "r:8100", Payload: []byte("x"), Reliable: true})
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 1 {
+		t.Fatalf("deliveries = %d", n)
+	}
+}
+
+// TestLiveEndToEndSession runs the real server and browser over OS sockets
+// on the wall clock: the same code path as cmd/hermesd + cmd/hermes.
+func TestLiveEndToEndSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets in -short mode")
+	}
+	l := NewLive()
+	defer l.Close()
+	clk := clock.NewWall()
+	users := auth.NewDB()
+	users.Subscribe(auth.User{Name: "live", Password: "pw", Email: "l@x", Class: qos.Standard}, clk.Now())
+	db := server.NewDatabase()
+	// A short scenario so the test stays fast.
+	if err := db.Put("clip", `<TITLE>live clip</TITLE>
+<AU_VI SOURCE=au/a SOURCE=vi/v ID=a ID=v STARTIME=0 DURATION=2> </AU_VI>`, ""); err != nil {
+		t.Fatal(err)
+	}
+	server.New("live-server", clk, l, users, db, server.Options{PreRoll: 300 * time.Millisecond})
+
+	c := hclient.New("live-viewer", clk, l, hclient.Options{
+		User: "live", Password: "pw",
+		Window:          200 * time.Millisecond,
+		MaxInitialDelay: time.Second,
+	})
+	c.Connect("live-server")
+	waitFor(t, 3*time.Second, func() bool {
+		lc := c.LastConnect()
+		return lc != nil && lc.OK
+	})
+	c.RequestDoc("clip")
+	waitFor(t, 10*time.Second, func() bool {
+		p := c.Player()
+		return p != nil && p.Finished()
+	})
+	rep := c.Player().Report()
+	a := rep.Streams["a"]
+	if a.Plays < a.Expected/2 {
+		t.Fatalf("live plays = %d/%d (gaps %d)", a.Plays, a.Expected, a.Gaps)
+	}
+	_ = hml.Figure2Source
+}
+
+func TestDerivedHostIPsStableAcrossInstances(t *testing.T) {
+	a, b := NewLive(), NewLive()
+	defer a.Close()
+	defer b.Close()
+	if a.hostIP("hermes-a") != b.hostIP("hermes-a") {
+		t.Fatal("derived IPs differ across processes")
+	}
+}
+
+func TestMapHostOverrides(t *testing.T) {
+	l := NewLive()
+	defer l.Close()
+	l.MapHost("x", "127.0.0.42")
+	if l.hostIP("x") != "127.0.0.42" {
+		t.Fatal("MapHost ignored")
+	}
+	if err := l.ParseHostMap("a=127.0.0.5,b=127.0.0.6"); err != nil {
+		t.Fatal(err)
+	}
+	if l.hostIP("a") != "127.0.0.5" || l.hostIP("b") != "127.0.0.6" {
+		t.Fatal("ParseHostMap ignored")
+	}
+	if err := l.ParseHostMap("bad"); err == nil {
+		t.Fatal("bad mapping accepted")
+	}
+	if err := l.ParseHostMap("x="); err == nil {
+		t.Fatal("empty ip accepted")
+	}
+}
