@@ -1,0 +1,21 @@
+# Repo checks. `make check` is the full gate: vet + build + tests plus the
+# race detector over the concurrency-heavy packages (live transport and the
+# network simulator).
+
+GO ?= go
+
+.PHONY: check vet build test race
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/transport/... ./internal/netsim/...

@@ -55,10 +55,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	c := client.New(*hostname, clock.NewWall(), live, client.Options{
+	c, err := client.New(*hostname, clock.NewWall(), live, client.Options{
 		User: *user, Password: *password, Class: qos.Standard,
 		AutoFollowLinks: true,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hermes:", err)
+		os.Exit(1)
+	}
+	// Runs before the deferred live.Close(), so the snapshot is complete.
+	defer func() { fmt.Fprint(os.Stderr, live.Metrics().Table()) }()
 
 	fmt.Printf("hermes: connecting to %s as %s...\n", *serverName, *user)
 	c.Connect(*serverName)

@@ -84,10 +84,14 @@ func main() {
 		}
 	}
 
-	srv := server.New(*name, clock.NewWall(), live, users, db, server.Options{
+	srv, err := server.New(*name, clock.NewWall(), live, users, db, server.Options{
 		Capacity: *capacity,
 		Grace:    *grace,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hermesd:", err)
+		os.Exit(1)
+	}
 	if *peers != "" {
 		srv.SetPeers(strings.Split(*peers, ","))
 	}
@@ -101,4 +105,5 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("hermesd: shutting down")
+	fmt.Print(live.Metrics().Table())
 }

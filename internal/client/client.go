@@ -170,8 +170,10 @@ type assembly struct {
 	complete bool
 }
 
-// New creates a browser and registers its control listener.
-func New(host string, clk clock.Clock, net netsim.Net, opts Options) *Client {
+// New creates a browser and registers its control listener. It fails when
+// the network cannot bind the browser's control address (only possible on
+// the live transport).
+func New(host string, clk clock.Clock, net netsim.Net, opts Options) (*Client, error) {
 	opts.fill()
 	c := &Client{
 		Host:          host,
@@ -183,8 +185,10 @@ func New(host string, clk clock.Clock, net netsim.Net, opts Options) *Client {
 		suspendTokens: map[string]string{},
 		monitor:       qos.NewClientMonitor(clk, 0x1996),
 	}
-	net.Listen(c.ctrlAddr(), c.handleCtrl)
-	return c
+	if err := net.Listen(c.ctrlAddr(), c.handleCtrl); err != nil {
+		return nil, fmt.Errorf("client %s: %w", host, err)
+	}
+	return c, nil
 }
 
 func (c *Client) ctrlAddr() netsim.Addr { return netsim.MakeAddr(c.Host, c.opts.CtrlPort) }

@@ -233,7 +233,12 @@ func (c *Client) onDocResponse(from string, m protocol.DocResponse) {
 		c.monitor.Track(ann.StreamID, ann.SSRC)
 		addr := netsim.MakeAddr(c.Host, ann.Port)
 		c.mediaPorts = append(c.mediaPorts, addr)
-		c.net.Listen(addr, c.handleMedia)
+		if err := c.net.Listen(addr, c.handleMedia); err != nil {
+			// The stream's media port could not be bound: its frames will
+			// never arrive, but the rest of the presentation proceeds.
+			c.lastError = err.Error()
+			c.logEvent("media listen failed: " + err.Error())
+		}
 	}
 
 	opts := c.opts.Playout

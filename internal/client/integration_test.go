@@ -36,7 +36,11 @@ func newWorld(t testing.TB, link netsim.LinkConfig, copts Options, sopts server.
 	w := &world{clk: clk, net: net, users: users, servers: map[string]*server.Server{}}
 	for _, name := range serverNames {
 		db := server.NewDatabase()
-		w.servers[name] = server.New(name, clk, net, users, db, sopts)
+		srv, err := server.New(name, clk, net, users, db, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.servers[name] = srv
 	}
 	var peers []string
 	for _, n := range serverNames {
@@ -55,7 +59,11 @@ func newWorld(t testing.TB, link netsim.LinkConfig, copts Options, sopts server.
 		copts.User = "alice"
 		copts.Password = "pw"
 	}
-	w.c = New("laptop", clk, net, copts)
+	c, err := New("laptop", clk, net, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.c = c
 	return w
 }
 

@@ -108,13 +108,19 @@ func Play(cfg PlayConfig) (*Result, error) {
 	if err := db.Put("doc", cfg.DocSource, "experiment document"); err != nil {
 		return nil, err
 	}
-	srv := server.New("server", clk, net, users, db, cfg.Server)
+	srv, err := server.New("server", clk, net, users, db, cfg.Server)
+	if err != nil {
+		return nil, err
+	}
 
 	copts := cfg.Client
 	copts.User = "user"
 	copts.Password = "pw"
 	copts.Class = cfg.Class
-	c := client.New("viewer", clk, net, copts)
+	c, err := client.New("viewer", clk, net, copts)
+	if err != nil {
+		return nil, err
+	}
 
 	c.Connect("server")
 	clk.RunFor(time.Second)

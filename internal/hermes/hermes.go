@@ -82,7 +82,11 @@ func NewSimulated(cfg Config) (*Service, error) {
 				return nil, fmt.Errorf("hermes: lesson %s/%s: %w", spec.Name, l.Name, err)
 			}
 		}
-		svc.Servers[spec.Name] = server.New(spec.Name, clk, net, svc.Users, db, spec.Options)
+		srv, err := server.New(spec.Name, clk, net, svc.Users, db, spec.Options)
+		if err != nil {
+			return nil, fmt.Errorf("hermes: server %s: %w", spec.Name, err)
+		}
+		svc.Servers[spec.Name] = srv
 		names = append(names, spec.Name)
 	}
 	for _, n := range names {
@@ -114,7 +118,9 @@ func (s *Service) NewBrowser(user, password string, opts client.Options) *client
 	opts.User = user
 	opts.Password = password
 	host := fmt.Sprintf("pc-%d", s.clients)
-	return client.New(host, s.Clk, s.Net, opts)
+	// The simulated network's Listen never fails, so the error is nil.
+	c, _ := client.New(host, s.Clk, s.Net, opts)
+	return c
 }
 
 // Run advances the simulation.

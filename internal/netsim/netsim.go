@@ -72,8 +72,10 @@ type Net interface {
 	// Send injects a packet toward its destination.
 	Send(Packet)
 	// Listen registers (or, with a nil handler, removes) the handler for
-	// an address.
-	Listen(Addr, Handler)
+	// an address. It returns a non-nil error when the transport cannot
+	// actually bind the address; only real-socket implementations can
+	// fail — the simulated Network always returns nil.
+	Listen(Addr, Handler) error
 }
 
 // LinkConfig describes one direction of a link between two hosts.
@@ -269,15 +271,17 @@ func (n *Network) getLinkLocked(from, to string) *link {
 }
 
 // Listen registers a handler for packets addressed to addr, replacing any
-// previous handler. A nil handler unregisters.
-func (n *Network) Listen(addr Addr, h Handler) {
+// previous handler. A nil handler unregisters. The simulated network can
+// always bind, so the error is always nil.
+func (n *Network) Listen(addr Addr, h Handler) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if h == nil {
 		delete(n.endpoints, addr)
-		return
+		return nil
 	}
 	n.endpoints[addr] = h
+	return nil
 }
 
 // Stats returns a snapshot of the directed link's counters.

@@ -108,7 +108,9 @@ type pendingSearch struct {
 }
 
 // New creates a server and registers its control listener on the network.
-func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Database, opts Options) *Server {
+// It fails when the network cannot bind the server's control address (only
+// possible on the live transport).
+func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Database, opts Options) (*Server, error) {
 	opts.fill()
 	s := &Server{
 		Name:        name,
@@ -124,8 +126,10 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 		annotations: map[string][]protocol.AnnotationRecord{},
 		nextSSRC:    1000,
 	}
-	net.Listen(s.ctrlAddr(), s.handle)
-	return s
+	if err := net.Listen(s.ctrlAddr(), s.handle); err != nil {
+		return nil, fmt.Errorf("server %s: %w", name, err)
+	}
+	return s, nil
 }
 
 func (s *Server) ctrlAddr() netsim.Addr { return netsim.MakeAddr(s.Name, ControlPort) }

@@ -53,7 +53,9 @@ func TestServerFederatedSearchFanOut(t *testing.T) {
 	// A peer server with one matching document.
 	peerDB := NewDatabase()
 	peerDB.Put("remote-doc", `<TITLE>Remote databases</TITLE><TEXT>x</TEXT>`, "")
-	New("peer", h.clk, h.net, h.users, peerDB, Options{})
+	if _, err := New("peer", h.clk, h.net, h.users, peerDB, Options{}); err != nil {
+		t.Fatal(err)
+	}
 	h.srv.SetPeers([]string{"peer"})
 
 	h.send(protocol.MsgSearch, protocol.Search{Token: "databases"})

@@ -94,7 +94,11 @@ func newHarness(t *testing.T, opts Options) *harness {
 	db := NewDatabase()
 	db.Put("doc", hml.Figure2Source, "")
 	h := &harness{clk: clk, net: net, users: users}
-	h.srv = New("srv", clk, net, users, db, opts)
+	srv, err := New("srv", clk, net, users, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.srv = srv
 	net.Listen(fakeClient, func(p netsim.Packet) {
 		mt, body, err := protocol.Decode(p.Payload)
 		if err == nil {

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -399,5 +400,49 @@ func TestRNGIntnUniformity(t *testing.T) {
 		if c < 9000 || c > 11000 {
 			t.Fatalf("bucket %d = %d, want ≈10000", i, c)
 		}
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1000+8*5 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestHighWaterConcurrent(t *testing.T) {
+	var h HighWater
+	if h.Value() != 0 {
+		t.Fatal("zero value not 0")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(int64(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := h.Value(); got != 7*1000+499 {
+		t.Fatalf("high water = %d, want %d", got, 7*1000+499)
+	}
+	h.Observe(3) // lower values never regress the mark
+	if h.Value() != 7*1000+499 {
+		t.Fatal("mark regressed")
 	}
 }

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// liveMetrics holds the transport's concurrency-safe counters. Hot paths
+// (writer goroutines, read loops) update them lock-free.
+type liveMetrics struct {
+	tcpFramesSent    stats.Counter
+	tcpBytesSent     stats.Counter
+	tcpFramesRecv    stats.Counter
+	tcpBytesRecv     stats.Counter
+	udpDatagramsSent stats.Counter
+	udpBytesSent     stats.Counter
+	udpDatagramsRecv stats.Counter
+	udpBytesRecv     stats.Counter
+	queueHighWater   stats.HighWater
+	queueDrops       stats.Counter
+	reconnects       stats.Counter
+	dialFailures     stats.Counter
+	udpSendErrors    stats.Counter
+	decodeErrors     stats.Counter
+	acceptedConns    stats.Counter
+}
+
+// Metrics is a point-in-time snapshot of the live transport's counters.
+type Metrics struct {
+	// Reliable (TCP) path.
+	TCPFramesSent, TCPBytesSent int64
+	TCPFramesRecv, TCPBytesRecv int64
+	// Unreliable (UDP) path.
+	UDPDatagramsSent, UDPBytesSent int64
+	UDPDatagramsRecv, UDPBytesRecv int64
+	// QueueHighWater is the deepest any per-host send queue ever got.
+	QueueHighWater int64
+	// QueueDrops counts reliable frames dropped whole because the
+	// destination host's bounded send queue was full.
+	QueueDrops int64
+	// Reconnects counts outbound connections torn down — after a write
+	// error or when the peer-close probe saw the remote side go away — and
+	// replaced by a fresh dial on the next frame.
+	Reconnects int64
+	// DialFailures counts individual failed dial attempts; each is retried
+	// on the capped-backoff schedule.
+	DialFailures int64
+	// UDPSendErrors counts datagrams that could not be sent (bad
+	// destination port or socket write error).
+	UDPSendErrors int64
+	// DecodeErrors counts received frames/datagrams that failed to parse.
+	DecodeErrors int64
+	// AcceptedConns counts inbound connections accepted over the
+	// transport's lifetime; InboundConns is how many are open now.
+	AcceptedConns int64
+	InboundConns  int
+}
+
+// Metrics returns a snapshot of the transport's counters.
+func (l *Live) Metrics() Metrics {
+	l.mu.Lock()
+	inbound := len(l.tcpIn)
+	l.mu.Unlock()
+	m := &l.met
+	return Metrics{
+		TCPFramesSent:    m.tcpFramesSent.Value(),
+		TCPBytesSent:     m.tcpBytesSent.Value(),
+		TCPFramesRecv:    m.tcpFramesRecv.Value(),
+		TCPBytesRecv:     m.tcpBytesRecv.Value(),
+		UDPDatagramsSent: m.udpDatagramsSent.Value(),
+		UDPBytesSent:     m.udpBytesSent.Value(),
+		UDPDatagramsRecv: m.udpDatagramsRecv.Value(),
+		UDPBytesRecv:     m.udpBytesRecv.Value(),
+		QueueHighWater:   m.queueHighWater.Value(),
+		QueueDrops:       m.queueDrops.Value(),
+		Reconnects:       m.reconnects.Value(),
+		DialFailures:     m.dialFailures.Value(),
+		UDPSendErrors:    m.udpSendErrors.Value(),
+		DecodeErrors:     m.decodeErrors.Value(),
+		AcceptedConns:    m.acceptedConns.Value(),
+		InboundConns:     inbound,
+	}
+}
+
+// Table renders the snapshot as an aligned text table (printed by the live
+// binaries on shutdown).
+func (m Metrics) Table() *stats.Table {
+	t := stats.NewTable("live transport", "path", "frames", "bytes", "notes")
+	t.AddRow("tcp out", m.TCPFramesSent, m.TCPBytesSent,
+		fmt.Sprintf("qmax=%d drops=%d reconnects=%d dialfail=%d",
+			m.QueueHighWater, m.QueueDrops, m.Reconnects, m.DialFailures))
+	t.AddRow("tcp in", m.TCPFramesRecv, m.TCPBytesRecv,
+		fmt.Sprintf("conns=%d/%d", m.InboundConns, m.AcceptedConns))
+	t.AddRow("udp out", m.UDPDatagramsSent, m.UDPBytesSent,
+		fmt.Sprintf("senderr=%d", m.UDPSendErrors))
+	t.AddRow("udp in", m.UDPDatagramsRecv, m.UDPBytesRecv,
+		fmt.Sprintf("decodeerr=%d", m.DecodeErrors))
+	return t
+}

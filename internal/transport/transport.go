@@ -10,13 +10,23 @@
 // socket per host on MuxPort) with length-prefixed frames carrying the
 // from/to addresses, matching the paper's TCP-for-control/stills,
 // RTP-over-UDP-for-audio-video split (Figure 5).
+//
+// Reliable traffic toward each destination host is owned by a dedicated
+// writer goroutine fed through a bounded queue: Send never blocks and never
+// holds the transport lock across a socket write, frames are enqueued and
+// dropped whole (never partially written), and when a TCP peer goes away
+// the writer redials with capped exponential backoff plus jitter. All
+// counters are exposed through Metrics.
 package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,28 +36,55 @@ import (
 // MuxPort is the per-host TCP port multiplexing all reliable traffic.
 const MuxPort = 4999
 
+const (
+	// DefaultQueueSize bounds each destination host's reliable send queue;
+	// a full queue drops new frames whole (counted in Metrics.QueueDrops).
+	DefaultQueueSize = 256
+	// maxFrame bounds one reliable frame on the wire.
+	maxFrame = 64 << 20
+	// dialTimeout caps one TCP dial attempt.
+	dialTimeout = 2 * time.Second
+	// backoffBase/backoffMax shape the reconnect schedule: the delay after
+	// the n-th consecutive dial failure is drawn from
+	// [b/2, b) with b = min(backoffBase·2ⁿ, backoffMax).
+	backoffBase = 50 * time.Millisecond
+	backoffMax  = 2 * time.Second
+)
+
+var errClosed = errors.New("transport: closed")
+
 // Live is a netsim.Net backed by real sockets.
 type Live struct {
 	mu       sync.Mutex
 	hosts    map[string]string // host name → IP
-	nextIP   int
 	handlers map[netsim.Addr]netsim.Handler
 	udp      map[netsim.Addr]*net.UDPConn
 	tcpLn    map[string]net.Listener // per local host
-	tcpOut   map[string]net.Conn     // per destination host
-	tcpIn    []net.Conn              // accepted inbound connections
+	writers  map[string]*hostWriter  // per destination host
+	tcpIn    map[net.Conn]struct{}   // currently open inbound connections
+	udpOut   *net.UDPConn            // shared datagram send socket
 	closed   bool
+	closeCh  chan struct{}
 	wg       sync.WaitGroup
+
+	// queueSize is the per-host send queue capacity (DefaultQueueSize;
+	// tests shrink it to exercise overflow).
+	queueSize int
+
+	met liveMetrics
 }
 
 // NewLive creates an empty live network.
 func NewLive() *Live {
 	return &Live{
-		hosts:    map[string]string{},
-		handlers: map[netsim.Addr]netsim.Handler{},
-		udp:      map[netsim.Addr]*net.UDPConn{},
-		tcpLn:    map[string]net.Listener{},
-		tcpOut:   map[string]net.Conn{},
+		hosts:     map[string]string{},
+		handlers:  map[netsim.Addr]netsim.Handler{},
+		udp:       map[netsim.Addr]*net.UDPConn{},
+		tcpLn:     map[string]net.Listener{},
+		writers:   map[string]*hostWriter{},
+		tcpIn:     map[net.Conn]struct{}{},
+		closeCh:   make(chan struct{}),
+		queueSize: DefaultQueueSize,
 	}
 }
 
@@ -122,63 +159,71 @@ func indexByte(s string, b byte) int {
 }
 
 // Listen implements netsim.Net. The first listen on a host also starts its
-// reliable-traffic TCP accept loop.
-func (l *Live) Listen(addr netsim.Addr, h netsim.Handler) {
+// reliable-traffic TCP accept loop. A bind failure (either the host's TCP
+// mux or the address's UDP socket) is returned to the caller and leaves no
+// handler registered for the address; a TCP mux that did come up stays up
+// for the host, since other addresses on the host share it.
+func (l *Live) Listen(addr netsim.Addr, h netsim.Handler) error {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	if h == nil {
 		delete(l.handlers, addr)
 		if c, ok := l.udp[addr]; ok {
 			c.Close()
 			delete(l.udp, addr)
 		}
-		l.mu.Unlock()
-		return
+		return nil
 	}
-	l.handlers[addr] = h
+	if l.closed {
+		return errClosed
+	}
+	port, ok := portOf(addr)
+	if !ok {
+		return fmt.Errorf("transport: listen %q: invalid port", addr)
+	}
 	host := addr.Host()
 	ip := l.hostIPLocked(host)
-	needTCP := l.tcpLn[host] == nil
-	needUDP := l.udp[addr] == nil
-	l.mu.Unlock()
-
-	if needTCP {
+	if l.tcpLn[host] == nil {
 		ln, err := net.Listen("tcp", fmt.Sprintf("%s:%d", ip, MuxPort))
-		if err == nil {
-			l.mu.Lock()
-			l.tcpLn[host] = ln
-			l.mu.Unlock()
-			l.wg.Add(1)
-			go l.acceptLoop(ln)
+		if err != nil {
+			return fmt.Errorf("transport: listen %q: reliable mux: %w", addr, err)
 		}
+		l.tcpLn[host] = ln
+		l.wg.Add(1)
+		go l.acceptLoop(ln)
 	}
-	if needUDP {
-		port := portOf(addr)
+	if l.udp[addr] == nil {
 		uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(ip), Port: port})
-		if err == nil {
-			l.mu.Lock()
-			l.udp[addr] = uc
-			l.mu.Unlock()
-			l.wg.Add(1)
-			go l.udpLoop(addr, uc)
+		if err != nil {
+			return fmt.Errorf("transport: listen %q: datagram socket: %w", addr, err)
 		}
+		l.udp[addr] = uc
+		l.wg.Add(1)
+		go l.udpLoop(uc)
 	}
+	l.handlers[addr] = h
+	return nil
 }
 
-func portOf(addr netsim.Addr) int {
+// portOf extracts and validates the port of an address. It rejects
+// addresses without a colon, with non-digit port characters, or with ports
+// outside [1, 65535].
+func portOf(addr netsim.Addr) (int, bool) {
 	s := string(addr)
 	for i := len(s) - 1; i >= 0; i-- {
-		if s[i] == ':' {
-			p := 0
-			for _, c := range s[i+1:] {
-				p = p*10 + int(c-'0')
-			}
-			return p
+		if s[i] != ':' {
+			continue
 		}
+		p, err := strconv.Atoi(s[i+1:])
+		if err != nil || p < 1 || p > 65535 {
+			return 0, false
+		}
+		return p, true
 	}
-	return 0
+	return 0, false
 }
 
-func (l *Live) udpLoop(addr netsim.Addr, uc *net.UDPConn) {
+func (l *Live) udpLoop(uc *net.UDPConn) {
 	defer l.wg.Done()
 	buf := make([]byte, 65535)
 	for {
@@ -186,11 +231,13 @@ func (l *Live) udpLoop(addr netsim.Addr, uc *net.UDPConn) {
 		if err != nil {
 			return
 		}
-		payload := buf[:n]
+		l.met.udpDatagramsRecv.Inc()
+		l.met.udpBytesRecv.Add(int64(n))
 		// The UDP payload is framed with from/to like TCP so the handler
 		// sees the logical addresses.
-		pkt, ok := decodeFrame(payload)
+		pkt, ok := decodeFrame(buf[:n])
 		if !ok {
+			l.met.decodeErrors.Inc()
 			continue
 		}
 		l.dispatch(pkt)
@@ -210,31 +257,40 @@ func (l *Live) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
-		l.tcpIn = append(l.tcpIn, conn)
-		l.mu.Unlock()
+		l.tcpIn[conn] = struct{}{}
+		l.met.acceptedConns.Inc()
 		l.wg.Add(1)
+		l.mu.Unlock()
 		go l.readLoop(conn)
 	}
 }
 
 func (l *Live) readLoop(conn net.Conn) {
 	defer l.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.tcpIn, conn)
+		l.mu.Unlock()
+	}()
 	for {
 		var sz [4]byte
 		if _, err := io.ReadFull(conn, sz[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(sz[:])
-		if n > 64<<20 {
+		if n > maxFrame {
 			return
 		}
 		frame := make([]byte, n)
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
+		l.met.tcpFramesRecv.Inc()
+		l.met.tcpBytesRecv.Add(int64(4 + len(frame)))
 		pkt, ok := decodeFrame(frame)
 		if !ok {
+			l.met.decodeErrors.Inc()
 			continue
 		}
 		l.dispatch(pkt)
@@ -271,13 +327,13 @@ func decodeFrame(buf []byte) (netsim.Packet, bool) {
 		return netsim.Packet{}, false
 	}
 	fl := int(binary.BigEndian.Uint16(buf))
-	if len(buf) < 2+fl+2 {
+	if fl == 0 || len(buf) < 2+fl+2 {
 		return netsim.Packet{}, false
 	}
 	from := netsim.Addr(buf[2 : 2+fl])
 	rest := buf[2+fl:]
 	tl := int(binary.BigEndian.Uint16(rest))
-	if len(rest) < 2+tl {
+	if tl == 0 || len(rest) < 2+tl {
 		return netsim.Packet{}, false
 	}
 	to := netsim.Addr(rest[2 : 2+tl])
@@ -296,55 +352,226 @@ func (l *Live) Send(pkt netsim.Packet) {
 }
 
 func (l *Live) sendUDP(pkt netsim.Packet) {
-	ip := l.hostIP(pkt.To.Host())
-	raddr := &net.UDPAddr{IP: net.ParseIP(ip), Port: portOf(pkt.To)}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	port, ok := portOf(pkt.To)
+	if !ok {
+		l.met.udpSendErrors.Inc()
+		return
+	}
+	conn, err := l.udpSender()
 	if err != nil {
 		return
 	}
-	defer conn.Close()
-	conn.Write(encodeFrame(pkt))
+	raddr := &net.UDPAddr{IP: net.ParseIP(l.hostIP(pkt.To.Host())), Port: port}
+	buf := encodeFrame(pkt)
+	if _, err := conn.WriteToUDP(buf, raddr); err != nil {
+		l.met.udpSendErrors.Inc()
+		return
+	}
+	l.met.udpDatagramsSent.Inc()
+	l.met.udpBytesSent.Add(int64(len(buf)))
 }
 
-func (l *Live) sendTCP(pkt netsim.Packet) {
-	host := pkt.To.Host()
+// udpSender returns the shared outbound datagram socket, creating it on
+// first use (one socket for all destinations instead of one dial per
+// packet).
+func (l *Live) udpSender() (*net.UDPConn, error) {
 	l.mu.Lock()
-	conn := l.tcpOut[host]
-	l.mu.Unlock()
-	if conn == nil {
-		ip := l.hostIP(host)
-		c, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", ip, MuxPort), 2*time.Second)
-		if err != nil {
-			return
-		}
-		l.mu.Lock()
-		if l.tcpOut[host] == nil {
-			l.tcpOut[host] = c
-			conn = c
-		} else {
-			c.Close()
-			conn = l.tcpOut[host]
-		}
-		l.mu.Unlock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, errClosed
 	}
+	if l.udpOut == nil {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			l.met.udpSendErrors.Inc()
+			return nil, err
+		}
+		l.udpOut = c
+	}
+	return l.udpOut, nil
+}
+
+// sendTCP hands the frame to the destination host's writer goroutine. The
+// queue is bounded: when it is full the frame is dropped whole and counted,
+// so a stalled peer back-pressures only its own host, never the caller and
+// never the other destinations.
+func (l *Live) sendTCP(pkt netsim.Packet) {
 	frame := encodeFrame(pkt)
 	buf := make([]byte, 4+len(frame))
 	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
 	copy(buf[4:], frame)
+
+	host := pkt.To.Host()
 	l.mu.Lock()
-	_, err := conn.Write(buf)
-	l.mu.Unlock()
-	if err != nil {
-		l.mu.Lock()
-		if l.tcpOut[host] == conn {
-			delete(l.tcpOut, host)
-		}
+	if l.closed {
 		l.mu.Unlock()
-		conn.Close()
+		return
+	}
+	w := l.writers[host]
+	if w == nil {
+		w = &hostWriter{l: l, host: host, queue: make(chan []byte, l.queueSize)}
+		l.writers[host] = w
+		l.wg.Add(1)
+		go w.run()
+	}
+	l.mu.Unlock()
+
+	select {
+	case w.queue <- buf:
+		l.met.queueHighWater.Observe(int64(len(w.queue)))
+	default:
+		l.met.queueDrops.Inc()
 	}
 }
 
-// Close shuts every socket down and waits for the loops to exit.
+// hostWriter owns all reliable traffic toward one destination host: one
+// goroutine, one connection, one bounded queue.
+type hostWriter struct {
+	l     *Live
+	host  string
+	queue chan []byte
+
+	mu   sync.Mutex
+	conn net.Conn // current outbound connection (nil between dials)
+}
+
+func (w *hostWriter) run() {
+	defer w.l.wg.Done()
+	defer w.closeConn()
+	rng := rand.New(rand.NewSource(int64(time.Now().UnixNano())))
+	for {
+		select {
+		case <-w.l.closeCh:
+			return
+		case buf := <-w.queue:
+			if !w.writeFrame(buf, rng) {
+				return
+			}
+		}
+	}
+}
+
+// writeFrame delivers one full frame, redialing as needed. A frame is
+// retried across reconnects until it is written in full on one connection;
+// the receiver parses each connection independently, so it only ever
+// observes complete frames. Returns false when the transport closed first.
+func (w *hostWriter) writeFrame(buf []byte, rng *rand.Rand) bool {
+	for {
+		select {
+		case <-w.l.closeCh:
+			return false
+		default:
+		}
+		conn := w.currentConn()
+		if conn == nil {
+			var ok bool
+			conn, ok = w.dial(rng)
+			if !ok {
+				return false
+			}
+		}
+		if _, err := conn.Write(buf); err != nil {
+			w.dropConn(conn)
+			w.l.met.reconnects.Inc()
+			continue
+		}
+		w.l.met.tcpFramesSent.Inc()
+		w.l.met.tcpBytesSent.Add(int64(len(buf)))
+		return true
+	}
+}
+
+// dial connects to the host's mux, retrying failed attempts on a capped
+// exponential backoff with jitter. Returns ok=false when the transport
+// closed before a connection came up.
+func (w *hostWriter) dial(rng *rand.Rand) (net.Conn, bool) {
+	backoff := backoffBase
+	for {
+		addr := fmt.Sprintf("%s:%d", w.l.hostIP(w.host), MuxPort)
+		c, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			w.setConn(c)
+			select {
+			case <-w.l.closeCh:
+				// Close ran while the dial was in flight and could not see
+				// this connection; tear it down ourselves.
+				w.dropConn(c)
+				return nil, false
+			default:
+			}
+			return c, true
+		}
+		w.l.met.dialFailures.Inc()
+		// Jitter over [backoff/2, backoff) decorrelates many writers
+		// redialing the same dead peer.
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)))
+		select {
+		case <-w.l.closeCh:
+			return nil, false
+		case <-time.After(sleep):
+		}
+		backoff *= 2
+		if backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+func (w *hostWriter) currentConn() net.Conn {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conn
+}
+
+// setConn installs a freshly dialed connection and starts its peer-close
+// probe. Outbound connections are write-only — the peer never sends frames
+// back on them (its replies travel over its own writer connection) — so a
+// returning Read means the peer went away. Dropping the connection at that
+// moment matters because the first write into a dead socket succeeds
+// silently (the kernel buffers it until the RST arrives) and the frame
+// would be lost without an error to trigger the redial.
+func (w *hostWriter) setConn(c net.Conn) {
+	w.mu.Lock()
+	w.conn = c
+	w.mu.Unlock()
+	// wg.Add is safe here: setConn runs on the writer goroutine, which
+	// itself holds a wg count, so Close cannot have passed wg.Wait yet.
+	w.l.wg.Add(1)
+	go func() {
+		defer w.l.wg.Done()
+		io.Copy(io.Discard, c)
+		w.mu.Lock()
+		stale := w.conn == c
+		w.mu.Unlock()
+		if stale {
+			// The probe, not a failed write, discovered the loss.
+			w.l.met.reconnects.Inc()
+		}
+		w.dropConn(c)
+	}()
+}
+
+// dropConn closes a broken connection and clears it if still current.
+func (w *hostWriter) dropConn(c net.Conn) {
+	c.Close()
+	w.mu.Lock()
+	if w.conn == c {
+		w.conn = nil
+	}
+	w.mu.Unlock()
+}
+
+func (w *hostWriter) closeConn() {
+	w.mu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	w.mu.Unlock()
+}
+
+// Close shuts every socket down and waits for the loops to exit. Writer
+// goroutines blocked in a backoff sleep or a socket write are interrupted.
 func (l *Live) Close() {
 	l.mu.Lock()
 	if l.closed {
@@ -352,19 +579,27 @@ func (l *Live) Close() {
 		return
 	}
 	l.closed = true
+	close(l.closeCh)
 	for _, ln := range l.tcpLn {
 		ln.Close()
 	}
 	for _, c := range l.udp {
 		c.Close()
 	}
-	for _, c := range l.tcpOut {
+	if l.udpOut != nil {
+		l.udpOut.Close()
+	}
+	for c := range l.tcpIn {
 		c.Close()
 	}
-	for _, c := range l.tcpIn {
-		c.Close()
+	writers := make([]*hostWriter, 0, len(l.writers))
+	for _, w := range l.writers {
+		writers = append(writers, w)
 	}
 	l.mu.Unlock()
+	for _, w := range writers {
+		w.closeConn()
+	}
 	l.wg.Wait()
 }
 

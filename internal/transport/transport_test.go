@@ -55,11 +55,58 @@ func TestHostIPAssignment(t *testing.T) {
 }
 
 func TestPortOf(t *testing.T) {
-	if portOf("host:1234") != 1234 {
-		t.Fatal("portOf wrong")
+	cases := []struct {
+		addr netsim.Addr
+		port int
+		ok   bool
+	}{
+		{"host:1234", 1234, true},
+		{"host:1", 1, true},
+		{"host:65535", 65535, true},
+		{"a:b:443", 443, true}, // last colon wins
+		{"noport", 0, false},
+		{"host:", 0, false},
+		{"host:9x9", 0, false},
+		{"host:x99", 0, false},
+		{"host:0", 0, false},
+		{"host:-1", 0, false},
+		{"host:65536", 0, false},
+		{"host: 80", 0, false},
+		{"", 0, false},
 	}
-	if portOf("noport") != 0 {
-		t.Fatal("portOf no colon")
+	for _, c := range cases {
+		p, ok := portOf(c.addr)
+		if p != c.port || ok != c.ok {
+			t.Errorf("portOf(%q) = %d, %v; want %d, %v", c.addr, p, ok, c.port, c.ok)
+		}
+	}
+}
+
+func TestDecodeFrameMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{0}},
+		{"zero-length from", encodeFrame(netsim.Packet{From: "", To: "b:2", Payload: []byte("x")})},
+		{"zero-length to", encodeFrame(netsim.Packet{From: "a:1", To: "", Payload: []byte("x")})},
+		{"truncated from", []byte{0, 5, 'x'}},
+		{"missing to length", []byte{0, 3, 'a', ':', '1'}},
+		{"truncated to", []byte{0, 3, 'a', ':', '1', 0, 9, 'b'}},
+	}
+	for _, c := range cases {
+		if _, ok := decodeFrame(c.buf); ok {
+			t.Errorf("decodeFrame accepted %s", c.name)
+		}
+	}
+	// A frame truncated anywhere inside a valid encoding must not parse
+	// into a deliverable packet with a non-empty To.
+	full := encodeFrame(netsim.Packet{From: "a:1", To: "b:2", Payload: []byte("payload")})
+	for i := 0; i < 9; i++ { // 2+3+2+3 = address section is 10 bytes
+		if pkt, ok := decodeFrame(full[:i]); ok && (pkt.From == "" || pkt.To == "") {
+			t.Errorf("truncated frame [:%d] decoded to %+v", i, pkt)
+		}
 	}
 }
 
@@ -131,13 +178,18 @@ func TestLiveEndToEndSession(t *testing.T) {
 <AU_VI SOURCE=au/a SOURCE=vi/v ID=a ID=v STARTIME=0 DURATION=2> </AU_VI>`, ""); err != nil {
 		t.Fatal(err)
 	}
-	server.New("live-server", clk, l, users, db, server.Options{PreRoll: 300 * time.Millisecond})
+	if _, err := server.New("live-server", clk, l, users, db, server.Options{PreRoll: 300 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
 
-	c := hclient.New("live-viewer", clk, l, hclient.Options{
+	c, err := hclient.New("live-viewer", clk, l, hclient.Options{
 		User: "live", Password: "pw",
 		Window:          200 * time.Millisecond,
 		MaxInitialDelay: time.Second,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Connect("live-server")
 	waitFor(t, 3*time.Second, func() bool {
 		lc := c.LastConnect()
