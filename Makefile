@@ -1,6 +1,6 @@
 # Repo checks. `make check` is the full gate: vet + build + tests plus the
-# race detector over the concurrency-heavy packages (live transport and the
-# network simulator).
+# race detector over the concurrency-heavy packages (live transport, the
+# network simulator, telemetry, and the playout scheduler).
 
 GO ?= go
 
@@ -18,4 +18,4 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/transport/... ./internal/netsim/...
+	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/...

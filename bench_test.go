@@ -17,6 +17,7 @@ import (
 	"repro/internal/hml"
 	"repro/internal/media"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rtp"
 	"repro/internal/scenario"
 )
@@ -293,5 +294,21 @@ func BenchmarkCorePlayFigure2(b *testing.B) {
 		if res.Plays() == 0 {
 			b.Fatal("no plays")
 		}
+	}
+}
+
+func BenchmarkObsOverhead(b *testing.B) {
+	// A nil scope is telemetry switched off: instrument lookups return
+	// shared no-ops and Emit returns immediately. The instrumented hot
+	// paths (buffer push, playout tick) rely on this costing nothing.
+	var scope *obs.Scope
+	c := scope.Counter("hot_counter")
+	h := scope.Histogram("hot_histogram")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(time.Duration(i))
+		scope.Counter("hot_counter").Add(1)
+		scope.Emit(obs.EvBufferWatermark, "x", int64(i), "note")
 	}
 }

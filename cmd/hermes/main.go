@@ -17,6 +17,8 @@
 //	disable <stream-id>                   stop one media stream
 //	annotate <text...>                    attach a remark
 //	report                                playout quality of the last lesson
+//	stats                                 server-side telemetry snapshot
+//	local                                 this browser's telemetry dashboard
 //	history                               documents viewed
 //	state                                 protocol state per server
 //	quit
@@ -33,6 +35,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/playout"
 	"repro/internal/protocol"
 	"repro/internal/qos"
@@ -46,9 +49,11 @@ func main() {
 	hostname := flag.String("name", "browser-1", "this browser's host name")
 	hostmap := flag.String("hosts", "", "host=ip overrides")
 	script := flag.String("script", "", "semicolon-separated commands to run non-interactively")
+	tracePath := flag.String("trace", "", "write the JSONL event trace to this file at exit")
 	flag.Parse()
 
-	live := transport.NewLive()
+	scope := obs.NewScope(clock.NewWall())
+	live := transport.NewLiveObs(scope)
 	defer live.Close()
 	if err := live.ParseHostMap(*hostmap); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -58,13 +63,29 @@ func main() {
 	c, err := client.New(*hostname, clock.NewWall(), live, client.Options{
 		User: *user, Password: *password, Class: qos.Standard,
 		AutoFollowLinks: true,
+		Obs:             scope,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermes:", err)
 		os.Exit(1)
 	}
 	// Runs before the deferred live.Close(), so the snapshot is complete.
-	defer func() { fmt.Fprint(os.Stderr, live.Metrics().Table()) }()
+	defer func() {
+		fmt.Fprint(os.Stderr, live.Metrics().Table())
+		if *tracePath == "" {
+			return
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hermes:", err)
+			return
+		}
+		if err := scope.Trace().WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hermes:", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "hermes: wrote %d trace events to %s\n", scope.Trace().Len(), *tracePath)
+	}()
 
 	fmt.Printf("hermes: connecting to %s as %s...\n", *serverName, *user)
 	c.Connect(*serverName)
@@ -83,7 +104,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	run := func(line string) bool { return execute(c, *serverName, line) }
+	run := func(line string) bool { return execute(c, scope, *serverName, line) }
 	if *script != "" {
 		for _, cmd := range strings.Split(*script, ";") {
 			if !run(strings.TrimSpace(cmd)) {
@@ -113,7 +134,7 @@ func waitUntil(d time.Duration, cond func() bool) bool {
 	return cond()
 }
 
-func execute(c *client.Client, serverName, line string) bool {
+func execute(c *client.Client, scope *obs.Scope, serverName, line string) bool {
 	if line == "" {
 		return true
 	}
@@ -223,6 +244,27 @@ func execute(c *client.Client, serverName, line string) bool {
 		fmt.Printf("  startup delay %v, display events %d\n",
 			c.StartupDelay(), len(c.Display().Events()))
 		_ = playout.EvPlay
+
+	case "stats":
+		c.RequestStats()
+		if !waitUntil(2*time.Second, func() bool { return c.Stats() != nil }) {
+			fmt.Println("  no stats answer from server")
+			return true
+		}
+		st := c.Stats()
+		fmt.Printf("  server %s: %d metrics, trace %d events (%d dropped)\n",
+			st.Server, len(st.Metrics), st.TraceEvents, st.TraceDropped)
+		for _, p := range st.Metrics {
+			if p.Kind == "histogram" {
+				fmt.Printf("  %-40s %-10s mean=%.1fms n=%d p50=%.1f p95=%.1f p99=%.1f\n",
+					p.Name, p.Kind, p.Value, p.Count, p.P50, p.P95, p.P99)
+				continue
+			}
+			fmt.Printf("  %-40s %-10s %.0f\n", p.Name, p.Kind, p.Value)
+		}
+
+	case "local":
+		fmt.Print(scope.Dashboard(15))
 
 	case "back":
 		if !c.Back() {

@@ -7,6 +7,8 @@
 //	hermesd -name hermes-a                      # serve a generated course
 //	hermesd -name hermes-a -lessons ./lessons   # serve *.hml from a directory
 //	hermesd -name hermes-a -peers hermes-b      # federate search
+//	hermesd -metrics-every 10s                  # periodic telemetry dump
+//	hermesd -trace trace.jsonl                  # write event trace on exit
 //
 // Users subscribe in-band via the browser, or a test user "student"/"pw"
 // can be pre-created with -testuser.
@@ -24,6 +26,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/clock"
 	"repro/internal/hermes"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/server"
 	"repro/internal/transport"
@@ -39,9 +42,12 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer server names for federated search")
 	hostmap := flag.String("hosts", "", "host=ip overrides (host=127.0.0.5,...)")
 	testuser := flag.Bool("testuser", true, "pre-subscribe user student/pw")
+	metricsEvery := flag.Duration("metrics-every", 0, "dump the telemetry dashboard periodically (0 = only at exit)")
+	tracePath := flag.String("trace", "", "write the JSONL event trace to this file at exit")
 	flag.Parse()
 
-	live := transport.NewLive()
+	scope := obs.NewScope(clock.NewWall())
+	live := transport.NewLiveObs(scope)
 	defer live.Close()
 	if err := live.ParseHostMap(*hostmap); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -87,6 +93,7 @@ func main() {
 	srv, err := server.New(*name, clock.NewWall(), live, users, db, server.Options{
 		Capacity: *capacity,
 		Grace:    *grace,
+		Obs:      scope,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermesd:", err)
@@ -101,9 +108,41 @@ func main() {
 		fmt.Printf("  - %s\n", n)
 	}
 
+	// Periodic telemetry dump: registry (including the transport counters)
+	// plus the tail of the event trace.
+	stopDump := make(chan struct{})
+	if *metricsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*metricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopDump:
+					return
+				case <-t.C:
+					fmt.Printf("hermesd: telemetry %s\n%s", time.Now().Format(time.RFC3339), scope.Dashboard(10))
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stopDump)
 	fmt.Println("hermesd: shutting down")
+	fmt.Print(scope.Registry().Table())
 	fmt.Print(live.Metrics().Table())
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hermesd:", err)
+			os.Exit(1)
+		}
+		if err := scope.Trace().WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hermesd:", err)
+		}
+		f.Close()
+		fmt.Printf("hermesd: wrote %d trace events to %s\n", scope.Trace().Len(), *tracePath)
+	}
 }

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/media"
+	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // Item is one buffered access unit with its arrival metadata.
@@ -70,6 +72,18 @@ type Buffer struct {
 	last    Item
 	hasLast bool
 	stats   Stats
+
+	// Telemetry (no-ops when the Config carried no scope). The registry
+	// counters shadow the Stats fields so live dumps see them; the trace
+	// records the watermark/drop/duplicate moments themselves.
+	obs           *obs.Scope
+	mPushed       *stats.Counter
+	mStale        *stats.Counter
+	mUnderflows   *stats.Counter
+	mOverflows    *stats.Counter
+	mDuplicated   *stats.Counter
+	mDropped      *stats.Counter
+	mOccupancyMax *stats.HighWater
 }
 
 // Config parameterizes a buffer.
@@ -79,6 +93,8 @@ type Config struct {
 	Window        time.Duration
 	// LowWM/HighWM default to Window/4 and 2×Window.
 	LowWM, HighWM time.Duration
+	// Obs, when set, receives per-stream counters and watermark events.
+	Obs *obs.Scope
 }
 
 // New creates a buffer.
@@ -95,12 +111,23 @@ func New(cfg Config) *Buffer {
 	if cfg.HighWM <= 0 {
 		cfg.HighWM = 2 * cfg.Window
 	}
+	label := func(name string) string {
+		return obs.Label(name, "stream", cfg.StreamID)
+	}
 	return &Buffer{
 		StreamID:      cfg.StreamID,
 		FrameInterval: cfg.FrameInterval,
 		Window:        cfg.Window,
 		LowWM:         cfg.LowWM,
 		HighWM:        cfg.HighWM,
+		obs:           cfg.Obs,
+		mPushed:       cfg.Obs.Counter(label("buffer_pushed")),
+		mStale:        cfg.Obs.Counter(label("buffer_stale")),
+		mUnderflows:   cfg.Obs.Counter(label("buffer_underflows")),
+		mOverflows:    cfg.Obs.Counter(label("buffer_overflows")),
+		mDuplicated:   cfg.Obs.Counter(label("buffer_duplicated")),
+		mDropped:      cfg.Obs.Counter(label("buffer_dropped")),
+		mOccupancyMax: cfg.Obs.HighWater(label("buffer_occupancy_frames")),
 	}
 }
 
@@ -129,6 +156,8 @@ func (b *Buffer) Push(it Item) (accepted, overflow bool) {
 	defer b.mu.Unlock()
 	if it.Frame.PTS < b.floor {
 		b.stats.Stale++
+		b.mStale.Inc()
+		b.obs.Emit(obs.EvFrameDrop, b.StreamID, 1, "stale arrival")
 		return false, false
 	}
 	// Insert keeping PTS order (arrivals may be reordered by the network).
@@ -137,8 +166,13 @@ func (b *Buffer) Push(it Item) (accepted, overflow bool) {
 	copy(b.items[i+1:], b.items[i:])
 	b.items[i] = it
 	b.stats.Pushed++
+	b.mPushed.Inc()
+	b.mOccupancyMax.Observe(int64(len(b.items)))
 	if b.occupancyLocked() > b.HighWM {
 		b.stats.Overflows++
+		b.mOverflows.Inc()
+		b.obs.Emit(obs.EvBufferWatermark, b.StreamID,
+			int64(b.occupancyLocked()/time.Millisecond), "above high watermark")
 		return true, true
 	}
 	return true, false
@@ -152,9 +186,9 @@ func (b *Buffer) Pop() (Item, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.items) == 0 {
-		b.stats.Underflows++
+		b.underflowLocked()
 		if b.hasLast {
-			b.stats.Duplicated++
+			b.duplicateLocked()
 			return b.last, false
 		}
 		return Item{}, false
@@ -170,6 +204,20 @@ func (b *Buffer) Pop() (Item, bool) {
 	return it, true
 }
 
+// underflowLocked counts a Pop that found nothing playable.
+func (b *Buffer) underflowLocked() {
+	b.stats.Underflows++
+	b.mUnderflows.Inc()
+	b.obs.Emit(obs.EvBufferWatermark, b.StreamID, 0, "underflow")
+}
+
+// duplicateLocked counts a gap concealed by replaying the last frame.
+func (b *Buffer) duplicateLocked() {
+	b.stats.Duplicated++
+	b.mDuplicated.Inc()
+	b.obs.Emit(obs.EvFrameDuplicate, b.StreamID, 1, "gap concealment")
+}
+
 // PopDue removes and returns the earliest frame only if its PTS is due
 // (≤ maxPTS). When the buffer is empty or its head is a future frame — the
 // expected frame is missing or late — it behaves like an underflow: the last
@@ -178,9 +226,9 @@ func (b *Buffer) PopDue(maxPTS time.Duration) (Item, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.items) == 0 || b.items[0].Frame.PTS > maxPTS {
-		b.stats.Underflows++
+		b.underflowLocked()
 		if b.hasLast {
-			b.stats.Duplicated++
+			b.duplicateLocked()
 			return b.last, false
 		}
 		return Item{}, false
@@ -217,6 +265,7 @@ func (b *Buffer) Drop(n int) (dropped int, newFloor time.Duration) {
 		b.items = b.items[1:]
 		dropped++
 		b.stats.Dropped++
+		b.mDropped.Inc()
 		if pts := it.Frame.PTS + b.FrameInterval; pts > b.floor {
 			b.floor = pts
 		}
@@ -236,6 +285,7 @@ func (b *Buffer) DropBefore(pts time.Duration, max int) (dropped int, newFloor t
 		b.items = b.items[1:]
 		dropped++
 		b.stats.Dropped++
+		b.mDropped.Inc()
 		if f := it.Frame.PTS + b.FrameInterval; f > b.floor {
 			b.floor = f
 		}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/media"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/playout"
 	"repro/internal/protocol"
 	"repro/internal/qos"
@@ -56,6 +57,9 @@ type Options struct {
 	MinRate  float64
 	// FloorLevel is the worst quality level the user accepts.
 	FloorLevel int
+	// Obs, when set, threads telemetry through the browser's buffers and
+	// playout scheduler and records session lifecycle events.
+	Obs *obs.Scope
 }
 
 func (o *Options) fill() {
@@ -130,6 +134,7 @@ type Client struct {
 	searchHits    []protocol.TopicInfo
 	searchDone    bool
 	annotations   *protocol.Annotations
+	lastStats     *protocol.StatsResult
 	lastError     string
 
 	suspendTokens map[string]string
@@ -350,6 +355,7 @@ func (c *Client) Disconnect() {
 	}
 	c.send(c.current, protocol.MsgDisconnect, protocol.Disconnect{})
 	c.logEvent("disconnect " + c.current)
+	c.opts.Obs.Emit(obs.EvSessionEnd, c.current, 0, "client disconnect")
 	c.current = ""
 }
 
@@ -392,6 +398,23 @@ func (c *Client) Annotate(text string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.send(c.current, protocol.MsgAnnotate, protocol.Annotate{Text: text})
+}
+
+// RequestStats asks the current server for its telemetry registry
+// snapshot; the reply lands in Stats.
+func (c *Client) RequestStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastStats = nil
+	c.send(c.current, protocol.MsgStatsRequest, protocol.StatsRequest{})
+}
+
+// Stats returns the last received server telemetry snapshot (nil = none
+// yet).
+func (c *Client) Stats() *protocol.StatsResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastStats
 }
 
 // RequestAnnotations asks for the remarks stored on a document ("" = the

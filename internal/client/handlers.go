@@ -6,6 +6,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/media"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/playout"
 	"repro/internal/protocol"
 	"repro/internal/rtp"
@@ -62,6 +63,13 @@ func (c *Client) handleCtrl(pkt netsim.Packet) {
 		if protocol.DecodeBody(body, &m) == nil {
 			c.onSuspendResult(from, m)
 		}
+	case protocol.MsgStatsResult:
+		var m protocol.StatsResult
+		if protocol.DecodeBody(body, &m) == nil {
+			c.mu.Lock()
+			c.lastStats = &m
+			c.mu.Unlock()
+		}
 	case protocol.MsgError:
 		var m protocol.ErrorMsg
 		if protocol.DecodeBody(body, &m) == nil {
@@ -92,6 +100,7 @@ func (c *Client) onConnectResult(from string, m protocol.ConnectResult) {
 			delete(c.suspendTokens, from)
 		}
 		c.logEvent("connected to " + from)
+		c.opts.Obs.Emit(obs.EvSessionStart, from, 0, "session "+m.SessionID)
 		if c.pendingDoc != "" {
 			doc := c.pendingDoc
 			c.pendingDoc = ""
@@ -228,6 +237,7 @@ func (c *Client) onDocResponse(from string, m protocol.DocResponse) {
 			StreamID:      ann.StreamID,
 			FrameInterval: interval,
 			Window:        window,
+			Obs:           c.opts.Obs,
 		})
 		c.streamInfo[ann.StreamID] = ann
 		c.monitor.Track(ann.StreamID, ann.SSRC)
@@ -243,6 +253,9 @@ func (c *Client) onDocResponse(from string, m protocol.DocResponse) {
 
 	opts := c.opts.Playout
 	opts.OnLink = c.onTimedLink
+	if opts.Obs == nil {
+		opts.Obs = c.opts.Obs
+	}
 	c.player = playout.New(c.clk, sc, c.sch, c.bufs, c.display, opts)
 	c.logEvent("document ready: " + c.docName)
 

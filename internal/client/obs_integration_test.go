@@ -1,0 +1,129 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/playout"
+	"repro/internal/qos"
+	"repro/internal/server"
+)
+
+// One shared scope observes the whole deployment — client and server on the
+// same virtual clock — through a congested playback. The JSONL trace must
+// contain buffer, skew, grade, and admission events with monotonically
+// consistent timestamps, and a stats request must return the server's
+// registry snapshot over the control protocol.
+func TestEndToEndTraceAndStatsSnapshot(t *testing.T) {
+	clk := clock.NewSim()
+	net := netsim.New(clk, 1234)
+	net.SetDefaultLink(netsim.DefaultLAN())
+	scope := obs.NewScopeCap(clk, 65536)
+
+	users := auth.NewDB()
+	if err := users.Subscribe(auth.User{
+		Name: "alice", Password: "pw", RealName: "Test User",
+		Email: "alice@example.gr", Class: qos.Standard,
+	}, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	db := server.NewDatabase()
+	long := `<TITLE>graded</TITLE>
+<AU_VI SOURCE=au/n SOURCE=vi/c ID=n ID=cv STARTIME=0 DURATION=30> </AU_VI>`
+	if err := db.Put("graded", long, "test doc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.New("server-a", clk, net, users, db, server.Options{Obs: scope}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New("laptop", clk, net, Options{
+		User: "alice", Password: "pw",
+		FeedbackInterval: 500 * time.Millisecond,
+		Playout: playout.Options{
+			EnableSkewControl: true,
+			SkewThreshold:     time.Millisecond,
+		},
+		Obs: scope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heavy loss on the media direction from 5s to 20s.
+	net.AddPhase("server-a", "laptop", netsim.Phase{
+		Start: 5 * time.Second, Duration: 15 * time.Second, LossFactor: 300,
+	})
+	c.Connect("server-a")
+	clk.RunFor(time.Second)
+	if lc := c.LastConnect(); lc == nil || !lc.OK {
+		t.Fatalf("connect result = %+v", lc)
+	}
+	c.RequestDoc("graded")
+	clk.RunFor(40 * time.Second)
+
+	// Server-side snapshot over the control protocol.
+	c.RequestStats()
+	clk.RunFor(2 * time.Second)
+	st := c.Stats()
+	if st == nil || !st.OK || st.Server != "server-a" {
+		t.Fatalf("stats result = %+v", st)
+	}
+	if len(st.Metrics) == 0 {
+		t.Fatal("server registry snapshot empty")
+	}
+	if st.TraceEvents == 0 {
+		t.Fatal("server reports no trace events")
+	}
+
+	// The JSONL egress carries every event family of the run.
+	var buf bytes.Buffer
+	if err := scope.Trace().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	type line struct {
+		At     string `json:"at"`
+		Kind   string `json:"kind"`
+		Stream string `json:"stream"`
+	}
+	kinds := map[string]int{}
+	var prev time.Time
+	n := 0
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", raw, err)
+		}
+		at, err := time.Parse(time.RFC3339Nano, l.At)
+		if err != nil {
+			t.Fatalf("bad timestamp %q: %v", l.At, err)
+		}
+		if at.Before(prev) {
+			t.Fatalf("timestamps regress at line %d: %v then %v", n, prev, at)
+		}
+		prev = at
+		kinds[l.Kind]++
+		n++
+	}
+	for _, want := range []string{
+		"session-start", "buffer-watermark", "skew-action",
+		"grade-change", "admission-decision",
+	} {
+		if kinds[want] == 0 {
+			t.Fatalf("no %q events in trace; kinds = %+v", want, kinds)
+		}
+	}
+	// Virtual-clock stamps: every event falls inside the simulated run.
+	if prev.After(clk.Now()) {
+		t.Fatalf("last event %v after clock %v", prev, clk.Now())
+	}
+	if prev.Before(clock.Epoch) {
+		t.Fatalf("last event %v before epoch", prev)
+	}
+}

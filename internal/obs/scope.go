@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// Shared no-op instruments handed out by a nil Scope. They absorb updates
+// into dead atomics that nothing reads, so a disabled instrument call is a
+// single atomic add with no allocation and no branch beyond the nil check.
+var (
+	noopCounter = new(stats.Counter)
+	noopGauge   = new(stats.Gauge)
+	noopHigh    = new(stats.HighWater)
+	noopHist    = stats.NewDurationHistogram()
+)
+
+// Scope bundles a clock, a metric registry and an event trace into the one
+// handle components take. All methods are safe on a nil receiver: a nil
+// *Scope means telemetry is off, instrument getters return shared no-op
+// instruments, and Emit returns immediately — callers never branch.
+type Scope struct {
+	clk clock.Clock
+	reg *Registry
+	tr  *Trace
+}
+
+// NewScope creates a scope stamping events with clk's time and a trace
+// ring of DefaultTraceCap events.
+func NewScope(clk clock.Clock) *Scope {
+	return &Scope{clk: clk, reg: NewRegistry(), tr: NewTrace(DefaultTraceCap)}
+}
+
+// NewScopeCap is NewScope with an explicit trace capacity.
+func NewScopeCap(clk clock.Clock, traceCap int) *Scope {
+	return &Scope{clk: clk, reg: NewRegistry(), tr: NewTrace(traceCap)}
+}
+
+// Emit records one trace event stamped with the scope's clock. No-op on a
+// nil scope.
+func (s *Scope) Emit(k EventKind, stream string, value int64, note string) {
+	if s == nil {
+		return
+	}
+	s.tr.Record(Event{At: s.clk.Now(), Kind: k, Stream: stream, Value: value, Note: note})
+}
+
+// Counter returns the named registry counter (a shared no-op when the
+// scope is nil).
+func (s *Scope) Counter(name string) *stats.Counter {
+	if s == nil {
+		return noopCounter
+	}
+	return s.reg.Counter(name)
+}
+
+// Gauge returns the named registry gauge (a shared no-op when nil).
+func (s *Scope) Gauge(name string) *stats.Gauge {
+	if s == nil {
+		return noopGauge
+	}
+	return s.reg.Gauge(name)
+}
+
+// HighWater returns the named registry high-water mark (a shared no-op
+// when nil).
+func (s *Scope) HighWater(name string) *stats.HighWater {
+	if s == nil {
+		return noopHigh
+	}
+	return s.reg.HighWater(name)
+}
+
+// Histogram returns the named registry duration histogram (a shared no-op
+// when nil).
+func (s *Scope) Histogram(name string) *stats.DurationHistogram {
+	if s == nil {
+		return noopHist
+	}
+	return s.reg.Histogram(name)
+}
+
+// Enabled reports whether the scope records anything. Use it to guard
+// event construction that itself allocates (fmt.Sprintf notes).
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Registry exposes the scope's registry (nil on a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Trace exposes the scope's trace (nil on a nil scope).
+func (s *Scope) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Dashboard renders the metric table followed by the last lastN trace
+// events — the live introspection view.
+func (s *Scope) Dashboard(lastN int) string {
+	if s == nil {
+		return "(telemetry off)\n"
+	}
+	var b strings.Builder
+	b.WriteString(s.reg.Table().String())
+	evs := s.tr.Events()
+	if lastN > 0 && len(evs) > lastN {
+		evs = evs[len(evs)-lastN:]
+	}
+	if len(evs) == 0 {
+		return b.String()
+	}
+	b.WriteString("\nrecent events:\n")
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "  %s  %-18s %-12s %6d  %s\n",
+			ev.At.UTC().Format("15:04:05.000"), ev.Kind, ev.Stream, ev.Value, ev.Note)
+	}
+	if d := s.tr.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "  (%d older events evicted)\n", d)
+	}
+	return b.String()
+}

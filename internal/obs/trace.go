@@ -1,0 +1,211 @@
+// Package obs is the session telemetry layer: a metric registry of named
+// instruments (counters, gauges, high-water marks, duration histograms), a
+// bounded structured trace of typed events, and the Scope handle that wires
+// both through the client, server, buffer, playout, QoS and transport
+// layers.
+//
+// Everything is stamped with clock.Clock time, so the same instrumented
+// code traces identically under the virtual simulation clock and the wall
+// clock, and a nil *Scope disables all instrumentation at zero cost —
+// components never need to know whether telemetry is on.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+// Trace event kinds. These cover the moments the paper's evaluation turns
+// on: buffer occupancy vs watermarks, short-term skew recovery, long-term
+// quality grading, admission decisions, and transport-level reconnects.
+const (
+	// EvSessionStart marks a session coming up (client connected / server
+	// admitted).
+	EvSessionStart EventKind = iota + 1
+	// EvSessionEnd marks a session tearing down.
+	EvSessionEnd
+	// EvBufferWatermark marks a buffer crossing a watermark: an overflow
+	// above the high mark or an underflow at playout time.
+	EvBufferWatermark
+	// EvFrameDrop marks frames discarded (stale arrival, watermark trim,
+	// skew catch-up).
+	EvFrameDrop
+	// EvFrameDuplicate marks a frame replayed to conceal a gap.
+	EvFrameDuplicate
+	// EvSkewAction marks a short-term intermedia synchronization action.
+	EvSkewAction
+	// EvGradeChange marks a long-term quality grading action
+	// (degrade/upgrade/cutoff/restore).
+	EvGradeChange
+	// EvDeadlineMiss marks a playout slot whose frame missed its deadline.
+	EvDeadlineMiss
+	// EvAdmissionDecision marks a connection-admission verdict.
+	EvAdmissionDecision
+	// EvReconnect marks a transport-level connection loss and redial.
+	EvReconnect
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSessionStart:
+		return "session-start"
+	case EvSessionEnd:
+		return "session-end"
+	case EvBufferWatermark:
+		return "buffer-watermark"
+	case EvFrameDrop:
+		return "frame-drop"
+	case EvFrameDuplicate:
+		return "frame-duplicate"
+	case EvSkewAction:
+		return "skew-action"
+	case EvGradeChange:
+		return "grade-change"
+	case EvDeadlineMiss:
+		return "deadline-miss"
+	case EvAdmissionDecision:
+		return "admission-decision"
+	case EvReconnect:
+		return "reconnect"
+	default:
+		return fmt.Sprintf("kind-%d", uint8(k))
+	}
+}
+
+// Event is one entry in the structured trace.
+type Event struct {
+	// At is the clock time of the event (virtual or wall, whichever clock
+	// the Scope was built on).
+	At time.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// Stream names the stream, session, user or host concerned ("" for
+	// process-level events).
+	Stream string
+	// Value carries the event's magnitude (frames dropped, level reached,
+	// granted rate, occupancy ms — kind-dependent).
+	Value int64
+	// Note carries human-readable detail.
+	Note string
+}
+
+// DefaultTraceCap bounds a Scope's trace ring.
+const DefaultTraceCap = 4096
+
+// Trace is a bounded, concurrency-safe ring of events. When full, new
+// events overwrite the oldest (counted in Dropped) — recent history is what
+// debugging a live glitch needs.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewTrace creates a trace holding at most capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, evicting the oldest when the ring is full.
+func (t *Trace) Record(ev Event) {
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Dropped returns how many events were evicted to make room.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eventsLocked()
+}
+
+func (t *Trace) eventsLocked() []Event {
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Count returns how many retained events match kind (and stream, "" = any).
+func (t *Trace) Count(k EventKind, stream string) int {
+	n := 0
+	for _, ev := range t.Events() {
+		if ev.Kind == k && (stream == "" || ev.Stream == stream) {
+			n++
+		}
+	}
+	return n
+}
+
+// jsonEvent is the JSONL schema of one trace line.
+type jsonEvent struct {
+	At     string `json:"at"` // RFC3339Nano, clock time
+	Kind   string `json:"kind"`
+	Stream string `json:"stream,omitempty"`
+	Value  int64  `json:"value,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// WriteJSONL writes the retained events as JSON Lines, one event per line,
+// oldest first.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	for _, ev := range t.Events() {
+		line, err := json.Marshal(jsonEvent{
+			At:     ev.At.UTC().Format(time.RFC3339Nano),
+			Kind:   ev.Kind.String(),
+			Stream: ev.Stream,
+			Value:  ev.Value,
+			Note:   ev.Note,
+		})
+		if err != nil {
+			return fmt.Errorf("obs: marshal event: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

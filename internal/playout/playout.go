@@ -18,6 +18,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/clock"
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -151,6 +152,9 @@ type Options struct {
 	// StillRetryInterval is how often an unplayed still checks for its
 	// data after missing its deadline.
 	StillRetryInterval time.Duration
+	// Obs, when set, receives playout counters, a lateness histogram, and
+	// deadline-miss/skew-action trace events.
+	Obs *obs.Scope
 }
 
 func (o *Options) fill() {
@@ -208,6 +212,14 @@ type Player struct {
 	linkFired bool
 	// skew samples per sync group (milliseconds).
 	skew map[string]*stats.Sample
+
+	// Telemetry (no-ops when Options carried no scope).
+	obs       *obs.Scope
+	mPlays    *stats.Counter
+	mGaps     *stats.Counter
+	mHolds    *stats.Counter
+	mDrops    *stats.Counter
+	hLateness *stats.DurationHistogram
 }
 
 // New builds a player over prepared buffers. The schedule must come from
@@ -216,8 +228,14 @@ func New(clk clock.Clock, sc *scenario.Scenario, sch *scenario.Schedule, bufs *b
 	opts.fill()
 	p := &Player{
 		clk: clk, sc: sc, sch: sch, bufs: bufs, disp: disp, opts: opts,
-		streams: map[string]*streamState{},
-		skew:    map[string]*stats.Sample{},
+		streams:   map[string]*streamState{},
+		skew:      map[string]*stats.Sample{},
+		obs:       opts.Obs,
+		mPlays:    opts.Obs.Counter("playout_plays"),
+		mGaps:     opts.Obs.Counter("playout_gaps"),
+		mHolds:    opts.Obs.Counter("playout_holds"),
+		mDrops:    opts.Obs.Counter("playout_drops"),
+		hLateness: opts.Obs.Histogram("playout_lateness"),
 	}
 	for _, e := range sch.Entries {
 		b := bufs.Get(e.BufferKey)
@@ -357,6 +375,8 @@ func (p *Player) playStill(id string) {
 		}
 		s.plays++
 		s.lateness.AddDuration(late)
+		p.mPlays.Inc()
+		p.hLateness.Observe(late)
 		p.disp.Record(Event{At: at, StreamID: id, Kind: EvPlay, Frame: it.Frame, Lateness: late})
 		p.mu.Unlock()
 		return
@@ -364,6 +384,8 @@ func (p *Player) playStill(id string) {
 	if !s.lateStill {
 		s.lateStill = true
 		s.gaps++
+		p.mGaps.Inc()
+		p.obs.Emit(obs.EvDeadlineMiss, id, 1, "still data not yet arrived")
 		p.disp.Record(Event{At: at, StreamID: id, Kind: EvLate, Note: "data not yet arrived"})
 	}
 	p.addTimer(p.opts.StillRetryInterval, func() { p.playStill(id) })
@@ -383,6 +405,7 @@ func (p *Player) tick(id string) {
 		// Skew control ordered this leader to hold: replay last frame.
 		s.holdTicks--
 		s.holds++
+		p.mHolds.Inc()
 		p.disp.Record(Event{At: at, StreamID: id, Kind: EvHold, Note: "skew control hold"})
 	} else {
 		// Play only the frame that is actually due: a playout slot whose
@@ -400,10 +423,14 @@ func (p *Player) tick(id string) {
 			s.plays++
 			s.lateness.AddDuration(late)
 			s.mediaPos = it.Frame.PTS + s.interval
+			p.mPlays.Inc()
+			p.hLateness.Observe(late)
 			p.disp.Record(Event{At: at, StreamID: id, Kind: EvPlay, Frame: it.Frame, Lateness: late})
 		} else {
 			// Underflow: conceal with a duplicate; media position holds.
 			s.gaps++
+			p.mGaps.Inc()
+			p.obs.Emit(obs.EvDeadlineMiss, id, 1, "underflow gap")
 			p.disp.Record(Event{At: at, StreamID: id, Kind: EvGap, Frame: it.Frame, Note: "underflow duplicate"})
 		}
 	}
@@ -472,6 +499,8 @@ func (p *Player) skewCheck() {
 						if floor > s.mediaPos {
 							s.mediaPos = floor
 						}
+						p.mDrops.Add(int64(n))
+						p.obs.Emit(obs.EvFrameDrop, id, int64(n), "watermark trim")
 						p.disp.Record(Event{At: now, StreamID: id, Kind: EvDrop,
 							Note: fmt.Sprintf("watermark drop ×%d", n)})
 					}
@@ -526,6 +555,11 @@ func (p *Player) controlGroupLocked(group string, members []*scenario.Stream, no
 		if floor > lag.mediaPos {
 			lag.mediaPos = floor
 		}
+		p.mDrops.Add(int64(n))
+		if p.obs.Enabled() {
+			p.obs.Emit(obs.EvSkewAction, lag.entry.Stream.ID, int64(n),
+				fmt.Sprintf("drop to catch up (group %s, skew %v)", group, skew))
+		}
 		p.disp.Record(Event{At: now, StreamID: lag.entry.Stream.ID, Kind: EvDrop,
 			Note: fmt.Sprintf("skew catch-up ×%d (group %s)", n, group)})
 		return
@@ -536,6 +570,10 @@ func (p *Player) controlGroupLocked(group string, members []*scenario.Stream, no
 	}
 	if lead.holdTicks < holdFrames {
 		lead.holdTicks = holdFrames
+		if p.obs.Enabled() {
+			p.obs.Emit(obs.EvSkewAction, lead.entry.Stream.ID, int64(holdFrames),
+				fmt.Sprintf("hold to let group %s catch up (skew %v)", group, skew))
+		}
 		p.disp.Record(Event{At: now, StreamID: lead.entry.Stream.ID, Kind: EvHold,
 			Note: fmt.Sprintf("skew hold ×%d (group %s)", holdFrames, group)})
 	}

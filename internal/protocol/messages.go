@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/obs"
+
 	"repro/internal/qos"
 )
 
@@ -43,6 +45,8 @@ const (
 	MsgFeedback
 	MsgListAnnotations
 	MsgAnnotations
+	MsgStatsRequest
+	MsgStatsResult
 )
 
 func (t MsgType) String() string {
@@ -57,6 +61,7 @@ func (t MsgType) String() string {
 		MsgSuspend: "suspend", MsgSuspendResult: "suspend-result",
 		MsgDisconnect: "disconnect", MsgError: "error", MsgFeedback: "feedback",
 		MsgListAnnotations: "list-annotations", MsgAnnotations: "annotations",
+		MsgStatsRequest: "stats-request", MsgStatsResult: "stats-result",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -241,6 +246,24 @@ type ErrorMsg struct {
 type Feedback struct {
 	// RTCP is the marshaled compound RTCP payload.
 	RTCP []byte `json:"rtcp"`
+}
+
+// StatsRequest asks a server for its telemetry registry snapshot. It is
+// sessionless (like TopicListRequest): monitoring must not require
+// admission.
+type StatsRequest struct{}
+
+// StatsResult answers StatsRequest with the server's metric snapshot and
+// the shape of its trace ring.
+type StatsResult struct {
+	OK     bool   `json:"ok"`
+	Server string `json:"server,omitempty"`
+	// Metrics is the sorted registry snapshot (empty when the server runs
+	// with telemetry off).
+	Metrics []obs.MetricPoint `json:"metrics,omitempty"`
+	// TraceEvents/TraceDropped describe the server's trace ring.
+	TraceEvents  int   `json:"traceEvents,omitempty"`
+	TraceDropped int64 `json:"traceDropped,omitempty"`
 }
 
 // Encode frames a message as [type byte | JSON body].

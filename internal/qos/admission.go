@@ -3,6 +3,8 @@ package qos
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // PricingClass is the user's pricing contract tier. The paper's admission
@@ -116,6 +118,7 @@ type Admission struct {
 	conns    map[int]*reservation
 	// counters
 	admitted, degraded, rejected map[PricingClass]int
+	obs                          *obs.Scope
 }
 
 // NewAdmission creates a controller for a server with the given outbound
@@ -128,6 +131,36 @@ func NewAdmission(capacity float64) *Admission {
 		degraded: map[PricingClass]int{},
 		rejected: map[PricingClass]int{},
 	}
+}
+
+// SetObs attaches a telemetry scope: every verdict emits an
+// AdmissionDecision trace event (pricing class in the note) and bumps a
+// class-labeled counter; the reserved-bandwidth gauge tracks the pool.
+// Nil detaches.
+func (a *Admission) SetObs(s *obs.Scope) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.obs = s
+}
+
+// recordDecisionLocked mirrors one admission decision into the telemetry
+// scope.
+func (a *Admission) recordDecisionLocked(req ConnRequest, d Decision) {
+	if !a.obs.Enabled() {
+		return
+	}
+	verdict := d.Verdict.String()
+	class := req.Class.String()
+	a.obs.Counter(obs.Label("admission_decisions", "class", class, "verdict", verdict)).Inc()
+	a.obs.Gauge("admission_reserved_bps").Set(int64(a.reservedLocked()))
+	note := fmt.Sprintf("%s class=%s user=%s rate=%.0f", verdict, class, req.User, d.Rate)
+	if len(d.Squeezed) > 0 {
+		note += fmt.Sprintf(" squeezed=%d", len(d.Squeezed))
+	}
+	if d.Reason != "" {
+		note += ": " + d.Reason
+	}
+	a.obs.Emit(obs.EvAdmissionDecision, req.User, int64(d.Rate), note)
 }
 
 // Reserved returns the total bandwidth currently reserved.
@@ -166,6 +199,12 @@ func (a *Admission) Counts(c PricingClass) (adm, deg, rej int) {
 func (a *Admission) Request(req ConnRequest) Decision {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	d := a.requestLocked(req)
+	a.recordDecisionLocked(req, d)
+	return d
+}
+
+func (a *Admission) requestLocked(req ConnRequest) Decision {
 	if req.MinRate <= 0 {
 		req.MinRate = req.PeakRate
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -151,6 +152,7 @@ type Manager struct {
 	epoch   time.Time
 	streams map[string]*streamState
 	actions []Action
+	obs     *obs.Scope
 }
 
 // NewManager creates a server QoS manager.
@@ -164,6 +166,24 @@ func NewManager(clk clock.Clock, policy Policy) *Manager {
 		epoch:   clk.Now(),
 		streams: map[string]*streamState{},
 	}
+}
+
+// SetObs attaches a telemetry scope: every grading action emits a
+// GradeChange trace event and bumps a per-kind counter. Nil detaches.
+func (m *Manager) SetObs(s *obs.Scope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obs = s
+}
+
+// recordActionLocked mirrors one grading action into the telemetry scope.
+func (m *Manager) recordActionLocked(act Action) {
+	if !m.obs.Enabled() {
+		return
+	}
+	m.obs.Counter("qos_" + act.Kind.String()).Inc()
+	m.obs.Emit(obs.EvGradeChange, act.StreamID, int64(act.To),
+		fmt.Sprintf("%s %d→%d: %s", act.Kind, act.From, act.To, act.Reason))
 }
 
 // Register adds a stream at level 0 (best quality).
@@ -343,6 +363,7 @@ func (m *Manager) degradeLocked(st *streamState, now time.Time, reason string) A
 	st.lastChange = now
 	st.goodSince = time.Time{}
 	m.actions = append(m.actions, act)
+	m.recordActionLocked(act)
 	return act
 }
 
@@ -360,5 +381,6 @@ func (m *Manager) upgradeLocked(st *streamState, now time.Time) Action {
 	st.lastChange = now
 	st.goodSince = now
 	m.actions = append(m.actions, act)
+	m.recordActionLocked(act)
 	return act
 }

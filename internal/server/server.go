@@ -10,6 +10,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/media"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/qos"
 	"repro/internal/rtp"
@@ -36,6 +37,9 @@ type Options struct {
 	// DisableGrading turns the long-term quality adaptation off (the E3
 	// ablation baseline).
 	DisableGrading bool
+	// Obs, when set, receives session/grading/admission telemetry and
+	// serves the control-protocol stats snapshot.
+	Obs *obs.Scope
 }
 
 func (o *Options) fill() {
@@ -126,6 +130,7 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 		annotations: map[string][]protocol.AnnotationRecord{},
 		nextSSRC:    1000,
 	}
+	s.adm.SetObs(opts.Obs)
 	if err := net.Listen(s.ctrlAddr(), s.handle); err != nil {
 		return nil, fmt.Errorf("server %s: %w", name, err)
 	}
@@ -240,7 +245,23 @@ func (s *Server) handle(pkt netsim.Packet) {
 		s.onSuspend(pkt.From)
 	case protocol.MsgDisconnect:
 		s.onDisconnect(pkt.From)
+	case protocol.MsgStatsRequest:
+		s.onStats(pkt.From)
 	}
+}
+
+// onStats answers a sessionless telemetry snapshot request: the registry's
+// sorted metric points plus the shape of the trace ring. With telemetry
+// off it answers OK with no metrics, so monitoring tools can distinguish
+// "off" from "unreachable".
+func (s *Server) onStats(from netsim.Addr) {
+	res := protocol.StatsResult{OK: true, Server: s.Name}
+	if sc := s.opts.Obs; sc.Enabled() {
+		res.Metrics = sc.Registry().Snapshot()
+		res.TraceEvents = sc.Trace().Len()
+		res.TraceDropped = sc.Trace().Dropped()
+	}
+	s.reply(from, protocol.MsgStatsResult, res)
 }
 
 func (s *Server) onConnect(from netsim.Addr, m protocol.Connect) {
@@ -311,7 +332,10 @@ func (s *Server) onConnect(from netsim.Addr, m protocol.Connect) {
 		ssrcToID:   map[uint32]string{},
 		startedAt:  now,
 	}
+	sess.qosMgr.SetObs(s.opts.Obs)
 	s.sessions[string(from)] = sess
+	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
+	s.opts.Obs.Emit(obs.EvSessionStart, m.User, int64(dec.ConnID), "session "+sess.id)
 	s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
 		OK: true, SessionID: sess.id,
 		GrantedRate: dec.Rate, Degraded: dec.Verdict == qos.AdmittedDegraded,
@@ -424,7 +448,9 @@ func (s *Server) onDocRequest(from netsim.Addr, m protocol.DocRequest) {
 	s.stopSendersLocked(sess)
 	sess.doc = m.Name
 	sess.qosMgr = qos.NewManager(s.clk, s.opts.Policy)
+	sess.qosMgr.SetObs(s.opts.Obs)
 	sess.ssrcToID = map[uint32]string{}
+	s.opts.Obs.Counter("server_docs_served").Inc()
 
 	// The flow scheduler computes the flow scenario and activates the
 	// media servers. The pre-roll lead matches the client's media time
@@ -688,6 +714,8 @@ func (s *Server) expireSuspended(token string) {
 	delete(s.sessions, string(sess.client))
 	s.stopSendersLocked(sess)
 	s.adm.Release(sess.connID)
+	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
+	s.opts.Obs.Emit(obs.EvSessionEnd, sess.user, int64(sess.connID), "grace period expired")
 	s.users.ChargeSession(sess.user, s.clk.Now().Sub(sess.startedAt), s.clk.Now())
 	s.users.LogLogout(sess.user, s.clk.Now())
 	client := sess.client
@@ -711,6 +739,8 @@ func (s *Server) onDisconnect(from netsim.Addr) {
 	}
 	s.stopSendersLocked(sess)
 	s.adm.Release(sess.connID)
+	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
+	s.opts.Obs.Emit(obs.EvSessionEnd, sess.user, int64(sess.connID), "client disconnect")
 	s.users.ChargeSession(sess.user, s.clk.Now().Sub(sess.startedAt), s.clk.Now())
 	s.users.LogLogout(sess.user, s.clk.Now())
 	s.mu.Unlock()

@@ -35,3 +35,25 @@ func (h *HighWater) Observe(x int64) {
 
 // Value returns the high-water mark (0 when nothing positive was observed).
 func (h *HighWater) Value() int64 { return h.v.Load() }
+
+// Gauge is a concurrency-safe instantaneous value (e.g. live sessions,
+// reserved bandwidth). Unlike Counter it may move in both directions. The
+// zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

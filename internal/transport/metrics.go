@@ -3,27 +3,66 @@ package transport
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
 // liveMetrics holds the transport's concurrency-safe counters. Hot paths
-// (writer goroutines, read loops) update them lock-free.
+// (writer goroutines, read loops) update them lock-free. With a telemetry
+// scope the instruments live in its registry under transport_* names, so
+// periodic dumps and the control-protocol stats snapshot see them; without
+// one they are private and only Metrics exposes them.
 type liveMetrics struct {
-	tcpFramesSent    stats.Counter
-	tcpBytesSent     stats.Counter
-	tcpFramesRecv    stats.Counter
-	tcpBytesRecv     stats.Counter
-	udpDatagramsSent stats.Counter
-	udpBytesSent     stats.Counter
-	udpDatagramsRecv stats.Counter
-	udpBytesRecv     stats.Counter
-	queueHighWater   stats.HighWater
-	queueDrops       stats.Counter
-	reconnects       stats.Counter
-	dialFailures     stats.Counter
-	udpSendErrors    stats.Counter
-	decodeErrors     stats.Counter
-	acceptedConns    stats.Counter
+	tcpFramesSent    *stats.Counter
+	tcpBytesSent     *stats.Counter
+	tcpFramesRecv    *stats.Counter
+	tcpBytesRecv     *stats.Counter
+	udpDatagramsSent *stats.Counter
+	udpBytesSent     *stats.Counter
+	udpDatagramsRecv *stats.Counter
+	udpBytesRecv     *stats.Counter
+	queueHighWater   *stats.HighWater
+	queueDrops       *stats.Counter
+	reconnects       *stats.Counter
+	dialFailures     *stats.Counter
+	udpSendErrors    *stats.Counter
+	decodeErrors     *stats.Counter
+	acceptedConns    *stats.Counter
+}
+
+// newLiveMetrics binds the counters into scope's registry, or to private
+// instruments when scope is nil. Private instruments (not the scope's
+// shared no-ops) keep Metrics() truthful either way.
+func newLiveMetrics(scope *obs.Scope) liveMetrics {
+	counter := func(name string) *stats.Counter {
+		if scope == nil {
+			return new(stats.Counter)
+		}
+		return scope.Counter(name)
+	}
+	high := func(name string) *stats.HighWater {
+		if scope == nil {
+			return new(stats.HighWater)
+		}
+		return scope.HighWater(name)
+	}
+	return liveMetrics{
+		tcpFramesSent:    counter("transport_tcp_frames_sent"),
+		tcpBytesSent:     counter("transport_tcp_bytes_sent"),
+		tcpFramesRecv:    counter("transport_tcp_frames_recv"),
+		tcpBytesRecv:     counter("transport_tcp_bytes_recv"),
+		udpDatagramsSent: counter("transport_udp_datagrams_sent"),
+		udpBytesSent:     counter("transport_udp_bytes_sent"),
+		udpDatagramsRecv: counter("transport_udp_datagrams_recv"),
+		udpBytesRecv:     counter("transport_udp_bytes_recv"),
+		queueHighWater:   high("transport_queue_high_water"),
+		queueDrops:       counter("transport_queue_drops"),
+		reconnects:       counter("transport_reconnects"),
+		dialFailures:     counter("transport_dial_failures"),
+		udpSendErrors:    counter("transport_udp_send_errors"),
+		decodeErrors:     counter("transport_decode_errors"),
+		acceptedConns:    counter("transport_accepted_conns"),
+	}
 }
 
 // Metrics is a point-in-time snapshot of the live transport's counters.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // MuxPort is the per-host TCP port multiplexing all reliable traffic.
@@ -71,11 +72,17 @@ type Live struct {
 	// tests shrink it to exercise overflow).
 	queueSize int
 
+	obs *obs.Scope
 	met liveMetrics
 }
 
-// NewLive creates an empty live network.
-func NewLive() *Live {
+// NewLive creates an empty live network with telemetry off.
+func NewLive() *Live { return NewLiveObs(nil) }
+
+// NewLiveObs creates an empty live network whose counters live in scope's
+// metric registry and whose connection losses emit Reconnect trace events.
+// A nil scope disables telemetry.
+func NewLiveObs(scope *obs.Scope) *Live {
 	return &Live{
 		hosts:     map[string]string{},
 		handlers:  map[netsim.Addr]netsim.Handler{},
@@ -85,6 +92,8 @@ func NewLive() *Live {
 		tcpIn:     map[net.Conn]struct{}{},
 		closeCh:   make(chan struct{}),
 		queueSize: DefaultQueueSize,
+		obs:       scope,
+		met:       newLiveMetrics(scope),
 	}
 }
 
@@ -473,6 +482,7 @@ func (w *hostWriter) writeFrame(buf []byte, rng *rand.Rand) bool {
 		if _, err := conn.Write(buf); err != nil {
 			w.dropConn(conn)
 			w.l.met.reconnects.Inc()
+			w.l.obs.Emit(obs.EvReconnect, w.host, 0, "write error; redialing")
 			continue
 		}
 		w.l.met.tcpFramesSent.Inc()
@@ -502,6 +512,7 @@ func (w *hostWriter) dial(rng *rand.Rand) (net.Conn, bool) {
 			return c, true
 		}
 		w.l.met.dialFailures.Inc()
+		w.l.obs.Emit(obs.EvReconnect, w.host, 1, "dial failed; backing off")
 		// Jitter over [backoff/2, backoff) decorrelates many writers
 		// redialing the same dead peer.
 		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)))
@@ -546,6 +557,7 @@ func (w *hostWriter) setConn(c net.Conn) {
 		if stale {
 			// The probe, not a failed write, discovered the loss.
 			w.l.met.reconnects.Inc()
+			w.l.obs.Emit(obs.EvReconnect, w.host, 0, "peer closed; redialing")
 		}
 		w.dropConn(c)
 	}()
