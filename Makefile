@@ -1,10 +1,12 @@
 # Repo checks. `make check` is the full gate: vet + build + tests plus the
 # race detector over the concurrency-heavy packages (live transport, the
-# network simulator, telemetry, and the playout scheduler).
+# network simulator, telemetry, the playout scheduler, and both
+# control-plane endpoints). `make chaos` runs the fault-injection suite on
+# its own, with the pinned seed and the race detector.
 
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race chaos
 
 check: vet build test race
 
@@ -18,4 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/...
+	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/... ./internal/client/... ./internal/server/...
+
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/...

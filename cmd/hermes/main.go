@@ -50,6 +50,10 @@ func main() {
 	hostmap := flag.String("hosts", "", "host=ip overrides")
 	script := flag.String("script", "", "semicolon-separated commands to run non-interactively")
 	tracePath := flag.String("trace", "", "write the JSONL event trace to this file at exit")
+	heartbeatEvery := flag.Duration("heartbeat-every", time.Second, "session heartbeat spacing")
+	livenessMisses := flag.Int("liveness-misses", 3, "unanswered heartbeats before the server is declared dead")
+	retryTimeout := flag.Duration("retry-timeout", 750*time.Millisecond, "initial control-request reply timeout")
+	retryAttempts := flag.Int("retry-attempts", 5, "control-request transmissions before giving up")
 	flag.Parse()
 
 	scope := obs.NewScope(clock.NewWall())
@@ -62,8 +66,12 @@ func main() {
 
 	c, err := client.New(*hostname, clock.NewWall(), live, client.Options{
 		User: *user, Password: *password, Class: qos.Standard,
-		AutoFollowLinks: true,
-		Obs:             scope,
+		AutoFollowLinks:   true,
+		HeartbeatInterval: *heartbeatEvery,
+		LivenessMisses:    *livenessMisses,
+		RetryTimeout:      *retryTimeout,
+		RetryAttempts:     *retryAttempts,
+		Obs:               scope,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermes:", err)

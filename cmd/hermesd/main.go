@@ -39,6 +39,8 @@ func main() {
 	units := flag.Int("units", 3, "generated course units")
 	capacity := flag.Float64("capacity", 50_000_000, "admission capacity (bits/s)")
 	grace := flag.Duration("grace", 30*time.Second, "suspended-connection grace period")
+	heartbeatEvery := flag.Duration("heartbeat-every", time.Second, "expected client heartbeat spacing")
+	livenessMisses := flag.Int("liveness-misses", 3, "missed heartbeats before a session is auto-suspended")
 	peers := flag.String("peers", "", "comma-separated peer server names for federated search")
 	hostmap := flag.String("hosts", "", "host=ip overrides (host=127.0.0.5,...)")
 	testuser := flag.Bool("testuser", true, "pre-subscribe user student/pw")
@@ -91,9 +93,11 @@ func main() {
 	}
 
 	srv, err := server.New(*name, clock.NewWall(), live, users, db, server.Options{
-		Capacity: *capacity,
-		Grace:    *grace,
-		Obs:      scope,
+		Capacity:       *capacity,
+		Grace:          *grace,
+		HeartbeatEvery: *heartbeatEvery,
+		LivenessMisses: *livenessMisses,
+		Obs:            scope,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermesd:", err)

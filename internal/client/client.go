@@ -57,6 +57,23 @@ type Options struct {
 	MinRate  float64
 	// FloorLevel is the worst quality level the user accepts.
 	FloorLevel int
+	// HeartbeatInterval spaces the session heartbeats probing server
+	// liveness.
+	HeartbeatInterval time.Duration
+	// LivenessMisses is how many consecutive unanswered heartbeats declare
+	// the server dead.
+	LivenessMisses int
+	// RetryTimeout is the initial reply timeout of tracked control
+	// requests; it doubles on each retransmission up to RetryBackoffCap.
+	RetryTimeout time.Duration
+	// RetryBackoffCap bounds the exponential retransmission backoff.
+	RetryBackoffCap time.Duration
+	// RetryAttempts bounds retransmissions of requests without an explicit
+	// deadline.
+	RetryAttempts int
+	// DisableHeartbeat turns the liveness probing off (for experiments
+	// isolating the control plane).
+	DisableHeartbeat bool
 	// Obs, when set, threads telemetry through the browser's buffers and
 	// playout scheduler and records session lifecycle events.
 	Obs *obs.Scope
@@ -83,6 +100,21 @@ func (o *Options) fill() {
 	}
 	if o.PeakRate <= 0 {
 		o.PeakRate = 2_000_000
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.LivenessMisses <= 0 {
+		o.LivenessMisses = 3
+	}
+	if o.RetryTimeout <= 0 {
+		o.RetryTimeout = 750 * time.Millisecond
+	}
+	if o.RetryBackoffCap <= 0 {
+		o.RetryBackoffCap = 4 * time.Second
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 5
 	}
 }
 
@@ -157,6 +189,23 @@ type Client struct {
 	// pendingDoc is requested once the follow-up connect succeeds.
 	pendingAfterSuspend func()
 	pendingDoc          string
+
+	// reliable control plane (reliable.go)
+	nextReq uint32
+	pending map[uint32]*pendingReq
+	// peers/graceSecs are the replica set and suspend grace window the
+	// server advertised on connect; they bound recovery and failover.
+	peers     []string
+	graceSecs int
+	hbTimer   *clock.Timer
+	hbAwait   bool
+	hbMisses  int
+	// recovering names the server currently being probed for session
+	// recovery ("" when healthy); failedPeers tracks replicas that already
+	// failed us during this failover episode.
+	recovering      string
+	recoverDeadline time.Time
+	failedPeers     map[string]bool
 }
 
 // navEntry is one visited document in the navigation stacks.
@@ -188,6 +237,8 @@ func New(host string, clk clock.Clock, net netsim.Net, opts Options) (*Client, e
 		machines:      map[string]*protocol.Machine{},
 		sessions:      map[string]string{},
 		suspendTokens: map[string]string{},
+		pending:       map[uint32]*pendingReq{},
+		failedPeers:   map[string]bool{},
 		monitor:       qos.NewClientMonitor(clk, 0x1996),
 	}
 	if err := net.Listen(c.ctrlAddr(), c.handleCtrl); err != nil {
@@ -250,6 +301,10 @@ func (c *Client) send(host string, t protocol.MsgType, body interface{}) {
 func (c *Client) Connect(host string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.connectLocked(host, false)
+}
+
+func (c *Client) connectLocked(host string, failover bool) {
 	m := c.machine(host)
 	if m.State() == protocol.StDisconnected {
 		m = protocol.NewMachine()
@@ -261,9 +316,9 @@ func (c *Client) Connect(host string) {
 		c.current = host
 		c.lastConnect = nil
 		c.logEvent("return to " + host)
-		c.send(host, protocol.MsgConnect, protocol.Connect{
+		c.sendReqLocked(host, protocol.MsgConnect, protocol.Connect{
 			User: c.opts.User, ResumeToken: c.suspendTokens[host],
-		})
+		}, time.Time{}, func() { c.connectFailedLocked(host, failover) })
 		return
 	}
 	if err := m.Apply(protocol.InConnect); err != nil {
@@ -273,12 +328,28 @@ func (c *Client) Connect(host string) {
 	c.current = host
 	c.lastConnect = nil
 	c.logEvent("connect → " + host)
-	c.send(host, protocol.MsgConnect, protocol.Connect{
+	c.sendReqLocked(host, protocol.MsgConnect, protocol.Connect{
 		User: c.opts.User, Password: c.opts.Password, Class: c.opts.Class,
 		PeakRate: c.opts.PeakRate, MinRate: c.opts.MinRate,
 		FloorLevel:  c.opts.FloorLevel,
 		ResumeToken: c.suspendTokens[host],
-	})
+		Failover:    failover,
+	}, time.Time{}, func() { c.connectFailedLocked(host, failover) })
+}
+
+// connectFailedLocked unsticks a connect whose reply never arrived: the
+// machine leaves Connecting instead of hanging there forever. During a
+// failover the next untried replica is attempted.
+func (c *Client) connectFailedLocked(host string, failover bool) {
+	m := c.machine(host)
+	if m.State() == protocol.StConnecting && m.Can(protocol.InAuthReject) {
+		m.Apply(protocol.InAuthReject)
+	}
+	c.lastError = "connect timed out: " + host
+	c.logEvent("connect timed out: " + host)
+	if failover {
+		c.failoverLocked(host)
+	}
 }
 
 // Subscribe submits the subscription form to the current server; the
@@ -289,7 +360,7 @@ func (c *Client) Subscribe(form protocol.SubscriptionForm) {
 	c.lastSubscribe = nil
 	c.opts.User = form.User
 	c.opts.Password = form.Password
-	c.send(c.current, protocol.MsgSubscribe, form)
+	c.sendReqLocked(c.current, protocol.MsgSubscribe, form, time.Time{}, nil)
 }
 
 // RequestTopics asks for the contents listing.
@@ -297,7 +368,7 @@ func (c *Client) RequestTopics() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.topics = nil
-	c.send(c.current, protocol.MsgTopicList, protocol.TopicListRequest{})
+	c.sendReqLocked(c.current, protocol.MsgTopicList, protocol.TopicListRequest{}, time.Time{}, nil)
 }
 
 // Search launches a federated content search from the current server.
@@ -306,7 +377,8 @@ func (c *Client) Search(token string) {
 	defer c.mu.Unlock()
 	c.searchHits = nil
 	c.searchDone = false
-	c.send(c.current, protocol.MsgSearch, protocol.Search{Token: token})
+	c.sendReqLocked(c.current, protocol.MsgSearch, protocol.Search{Token: token},
+		time.Time{}, func() { c.searchDone = true })
 }
 
 // RequestDoc asks the current server for a document.
@@ -334,10 +406,17 @@ func (c *Client) requestDocLocked(name string) {
 		// frame interval before the announce arrives.
 		win = buffer.ComputeWindow(40*time.Millisecond, c.opts.JitterBudget, c.opts.WindowSafety)
 	}
-	c.send(c.current, protocol.MsgDocRequest, protocol.DocRequest{
+	host := c.current
+	c.sendReqLocked(host, protocol.MsgDocRequest, protocol.DocRequest{
 		Name:          name,
 		MediaPortBase: c.opts.MediaPortBase,
 		WindowMS:      int(win / time.Millisecond),
+	}, time.Time{}, func() {
+		mach := c.machine(host)
+		if mach.State() == protocol.StRequesting && mach.Can(protocol.InDocFail) {
+			mach.Apply(protocol.InDocFail)
+		}
+		c.lastError = "document request timed out: " + name
 	})
 }
 
@@ -352,6 +431,11 @@ func (c *Client) Disconnect() {
 	m := c.machine(c.current)
 	if m.Can(protocol.InDisconnect) {
 		m.Apply(protocol.InDisconnect)
+	}
+	c.cancelPendingLocked(c.current)
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+		c.hbTimer = nil
 	}
 	c.send(c.current, protocol.MsgDisconnect, protocol.Disconnect{})
 	c.logEvent("disconnect " + c.current)
@@ -406,7 +490,7 @@ func (c *Client) RequestStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lastStats = nil
-	c.send(c.current, protocol.MsgStatsRequest, protocol.StatsRequest{})
+	c.sendReqLocked(c.current, protocol.MsgStatsRequest, protocol.StatsRequest{}, time.Time{}, nil)
 }
 
 // Stats returns the last received server telemetry snapshot (nil = none
@@ -423,7 +507,7 @@ func (c *Client) RequestAnnotations(doc string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.annotations = nil
-	c.send(c.current, protocol.MsgListAnnotations, protocol.ListAnnotations{Doc: doc})
+	c.sendReqLocked(c.current, protocol.MsgListAnnotations, protocol.ListAnnotations{Doc: doc}, time.Time{}, nil)
 }
 
 // Annotations returns the last received annotation listing (nil = none yet).
@@ -525,7 +609,8 @@ func (c *Client) followLinkLocked(link scenario.Link) {
 	c.teardownPresentationLocked()
 	from := c.current
 	c.logEvent(fmt.Sprintf("suspend %s → %s", from, link.Host))
-	c.send(from, protocol.MsgSuspend, protocol.Suspend{})
+	c.sendReqLocked(from, protocol.MsgSuspend, protocol.Suspend{},
+		time.Time{}, c.suspendAbandonedLocked)
 	// The new connection proceeds immediately; the suspend ack arrives
 	// asynchronously and stores the resume token.
 	host := link.Host
@@ -537,6 +622,17 @@ func (c *Client) followLinkLocked(link scenario.Link) {
 	}
 }
 
+// suspendAbandonedLocked runs when a suspend request times out: proceed
+// with the pending navigation anyway (the unreachable session expires
+// server-side). The continuation re-locks, so it runs off a zero timer.
+func (c *Client) suspendAbandonedLocked() {
+	after := c.pendingAfterSuspend
+	c.pendingAfterSuspend = nil
+	if after != nil {
+		c.clk.AfterFunc(0, after)
+	}
+}
+
 // ReturnTo resumes a previously suspended connection within its grace
 // period.
 func (c *Client) ReturnTo(host string) {
@@ -545,9 +641,9 @@ func (c *Client) ReturnTo(host string) {
 	c.logEvent("return to " + host)
 	c.current = host
 	c.lastConnect = nil
-	c.send(host, protocol.MsgConnect, protocol.Connect{
+	c.sendReqLocked(host, protocol.MsgConnect, protocol.Connect{
 		User: c.opts.User, ResumeToken: c.suspendTokens[host],
-	})
+	}, time.Time{}, nil)
 }
 
 // --- accessors for tests and experiments ---

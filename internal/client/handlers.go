@@ -13,13 +13,24 @@ import (
 	"repro/internal/scenario"
 )
 
-// handleCtrl dispatches control-channel packets from servers.
+// handleCtrl dispatches control-channel packets from servers. Replies to
+// tracked requests echo the request ID: the first one resolves the pending
+// retransmission entry, duplicates (from retransmitted requests the server
+// deduplicated) are dropped here so they cannot double-apply.
 func (c *Client) handleCtrl(pkt netsim.Packet) {
-	mt, body, err := protocol.Decode(pkt.Payload)
+	mt, reqID, body, err := protocol.DecodeReq(pkt.Payload)
 	if err != nil {
 		return
 	}
 	from := pkt.From.Host()
+	if reqID != 0 {
+		c.mu.Lock()
+		ok := c.completePendingLocked(reqID)
+		c.mu.Unlock()
+		if !ok {
+			return
+		}
+	}
 	switch mt {
 	case protocol.MsgConnectResult:
 		var m protocol.ConnectResult
@@ -70,6 +81,11 @@ func (c *Client) handleCtrl(pkt netsim.Packet) {
 			c.lastStats = &m
 			c.mu.Unlock()
 		}
+	case protocol.MsgHeartbeatAck:
+		var m protocol.HeartbeatAck
+		if protocol.DecodeBody(body, &m) == nil {
+			c.onHeartbeatAck(from, m)
+		}
 	case protocol.MsgError:
 		var m protocol.ErrorMsg
 		if protocol.DecodeBody(body, &m) == nil {
@@ -92,15 +108,45 @@ func (c *Client) onConnectResult(from string, m protocol.ConnectResult) {
 	mach := c.machine(from)
 	if m.OK {
 		c.sessions[from] = m.SessionID
+		// The server advertises its suspend grace window and replica set on
+		// every successful connect: they bound recovery probing and name the
+		// failover candidates.
+		if m.GraceSecs > 0 {
+			c.graceSecs = m.GraceSecs
+		}
+		if len(m.Peers) > 0 {
+			c.peers = append([]string(nil), m.Peers...)
+		}
+		c.failedPeers = map[string]bool{}
+		recovered := c.recovering == from
+		if recovered {
+			c.recovering = ""
+		}
 		switch mach.State() {
 		case protocol.StConnecting:
 			mach.Apply(protocol.InAuthOK)
 		case protocol.StSuspended:
-			mach.Apply(protocol.InReturn)
+			if recovered && m.Resumed && c.player != nil && !c.player.Finished() && c.docHost == from {
+				// Resumed in place within the grace window: straight back
+				// to viewing, the frozen presentation continues.
+				mach.Apply(protocol.InRecover)
+				c.player.Resume()
+			} else {
+				mach.Apply(protocol.InReturn)
+			}
 			delete(c.suspendTokens, from)
 		}
-		c.logEvent("connected to " + from)
-		c.opts.Obs.Emit(obs.EvSessionStart, from, 0, "session "+m.SessionID)
+		if recovered {
+			c.opts.Obs.Counter("client_sessions_resumed").Inc()
+			c.opts.Obs.Emit(obs.EvSessionResume, from, 0, "session "+m.SessionID+" recovered")
+			c.logEvent("session recovered: " + from)
+		} else {
+			c.logEvent("connected to " + from)
+			c.opts.Obs.Emit(obs.EvSessionStart, from, 0, "session "+m.SessionID)
+		}
+		if from == c.current {
+			c.startHeartbeatLocked()
+		}
 		if c.pendingDoc != "" {
 			doc := c.pendingDoc
 			c.pendingDoc = ""
@@ -111,6 +157,12 @@ func (c *Client) onConnectResult(from string, m protocol.ConnectResult) {
 			mach.Apply(protocol.InAuthNeedSubscribe)
 		}
 		c.logEvent("subscription required at " + from)
+	} else if m.SessionLost && c.recovering == from {
+		// The server came back but restarted without our session: the
+		// grace window cannot help, fail over now.
+		c.lastError = m.Reason
+		c.logEvent("session lost at " + from)
+		c.failoverLocked(from)
 	} else {
 		if mach.Can(protocol.InAuthReject) {
 			mach.Apply(protocol.InAuthReject)
@@ -134,11 +186,11 @@ func (c *Client) onSubscribeResult(from string, m protocol.SubscribeResult) {
 		// The connection attempt that triggered the subscription never
 		// created a server-side session; re-handshake transparently so
 		// admission runs with the now-known user.
-		c.send(from, protocol.MsgConnect, protocol.Connect{
+		c.sendReqLocked(from, protocol.MsgConnect, protocol.Connect{
 			User: c.opts.User, Password: c.opts.Password, Class: c.opts.Class,
 			PeakRate: c.opts.PeakRate, MinRate: c.opts.MinRate,
 			FloorLevel: c.opts.FloorLevel,
-		})
+		}, time.Time{}, nil)
 	} else {
 		if mach.Can(protocol.InSubscribeFail) {
 			mach.Apply(protocol.InSubscribeFail)
@@ -446,7 +498,8 @@ func (c *Client) followLinkFromEndLocked(link scenario.Link) {
 		mach.Apply(protocol.InRedirect)
 	}
 	c.logEvent("suspend " + c.current + " → " + host)
-	c.send(c.current, protocol.MsgSuspend, protocol.Suspend{})
+	c.sendReqLocked(c.current, protocol.MsgSuspend, protocol.Suspend{},
+		time.Time{}, c.suspendAbandonedLocked)
 	c.pendingAfterSuspend = func() {
 		c.mu.Lock()
 		c.pendingDoc = target

@@ -1,0 +1,290 @@
+package client
+
+// The reliable control plane: every request that expects a reply carries a
+// request ID and is retransmitted with capped exponential backoff until the
+// echoed reply arrives, a deadline passes, or the attempt budget runs out.
+// On top of it sit the session heartbeats: when enough go unanswered the
+// client enters the paper's suspend state, pauses the presentation, and
+// probes the server with a resume-by-session-ID connect until the grace
+// window closes — then fails over to a replica and is re-admitted there.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/server"
+)
+
+// pendingReq is one in-flight tracked control request.
+type pendingReq struct {
+	id       uint32
+	host     string
+	mt       protocol.MsgType
+	frame    []byte
+	attempts int
+	delay    time.Duration
+	// deadline, when set, bounds retransmission in time instead of
+	// attempts (used by recovery probes, which retry until the grace
+	// window closes).
+	deadline time.Time
+	timer    *clock.Timer
+	// onFail runs with c.mu held once the request is abandoned.
+	onFail func()
+}
+
+// sendFrame puts one raw control frame on the wire. Send errors are left to
+// the retransmission machinery: a refused packet looks exactly like a lost
+// one.
+func (c *Client) sendFrame(host string, frame []byte) {
+	_ = c.net.Send(netsim.Packet{
+		From:     c.ctrlAddr(),
+		To:       netsim.MakeAddr(host, server.ControlPort),
+		Payload:  frame,
+		Reliable: true,
+	})
+}
+
+// sendReqLocked sends a tracked request: it is retransmitted with capped
+// backoff until its reply (correlated by request ID) arrives. A zero
+// deadline bounds it by Options.RetryAttempts; otherwise it retries until
+// the deadline. Caller holds c.mu.
+func (c *Client) sendReqLocked(host string, mt protocol.MsgType, body interface{}, deadline time.Time, onFail func()) uint32 {
+	c.nextReq++
+	id := c.nextReq
+	pr := &pendingReq{
+		id:       id,
+		host:     host,
+		mt:       mt,
+		frame:    protocol.MustEncodeReq(mt, id, body),
+		delay:    c.opts.RetryTimeout,
+		deadline: deadline,
+		onFail:   onFail,
+	}
+	c.pending[id] = pr
+	pr.timer = c.clk.AfterFunc(pr.delay, func() { c.retryReq(id) })
+	c.sendFrame(host, pr.frame)
+	return id
+}
+
+// retryReq fires when a tracked request's reply timeout expires: either
+// retransmit with doubled (capped) backoff, or abandon it, surfacing a
+// client Event plus an obs trace event and running the request's onFail.
+func (c *Client) retryReq(id uint32) {
+	c.mu.Lock()
+	pr, ok := c.pending[id]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	pr.attempts++
+	exhausted := pr.attempts >= c.opts.RetryAttempts
+	if !pr.deadline.IsZero() {
+		exhausted = !c.clk.Now().Before(pr.deadline)
+	}
+	if exhausted {
+		delete(c.pending, id)
+		c.opts.Obs.Counter("client_ctrl_timeouts").Inc()
+		c.opts.Obs.Emit(obs.EvCtrlTimeout, pr.host, int64(pr.attempts),
+			fmt.Sprintf("%s abandoned after %d attempts", pr.mt, pr.attempts))
+		c.logEvent("request timeout: " + pr.mt.String() + " → " + pr.host)
+		if pr.onFail != nil {
+			pr.onFail()
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.opts.Obs.Counter("client_ctrl_retries").Inc()
+	c.opts.Obs.Emit(obs.EvCtrlRetry, pr.host, int64(pr.attempts), "retrying "+pr.mt.String())
+	pr.delay *= 2
+	if pr.delay > c.opts.RetryBackoffCap {
+		pr.delay = c.opts.RetryBackoffCap
+	}
+	pr.timer = c.clk.AfterFunc(pr.delay, func() { c.retryReq(id) })
+	host, frame := pr.host, pr.frame
+	c.mu.Unlock()
+	c.sendFrame(host, frame)
+}
+
+// completePendingLocked resolves a tracked request when its echoed reply
+// arrives. It reports false for an unknown ID — a duplicated reply, which
+// the caller must ignore so retransmitted requests have no double effects.
+func (c *Client) completePendingLocked(reqID uint32) bool {
+	pr, ok := c.pending[reqID]
+	if !ok {
+		c.opts.Obs.Counter("client_ctrl_dup_replies").Inc()
+		return false
+	}
+	if pr.timer != nil {
+		pr.timer.Stop()
+	}
+	delete(c.pending, reqID)
+	return true
+}
+
+// cancelPendingLocked abandons every tracked request toward a host without
+// running onFail (used when tearing the connection down deliberately).
+func (c *Client) cancelPendingLocked(host string) {
+	for id, pr := range c.pending {
+		if pr.host != host {
+			continue
+		}
+		if pr.timer != nil {
+			pr.timer.Stop()
+		}
+		delete(c.pending, id)
+	}
+}
+
+// --- heartbeats and liveness ---
+
+// startHeartbeatLocked (re)arms the heartbeat loop toward the current
+// server. Caller holds c.mu.
+func (c *Client) startHeartbeatLocked() {
+	if c.opts.DisableHeartbeat {
+		return
+	}
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+	}
+	c.hbAwait = false
+	c.hbMisses = 0
+	c.hbTimer = c.clk.AfterFunc(c.opts.HeartbeatInterval, c.heartbeatTick)
+}
+
+// heartbeatTick counts unanswered beats and sends the next one. The loop
+// parks itself whenever there is no live session to probe (and is restarted
+// by the next successful connect).
+func (c *Client) heartbeatTick() {
+	c.mu.Lock()
+	host := c.current
+	sess := c.sessions[host]
+	if host == "" || sess == "" || c.recovering != "" {
+		c.hbTimer = nil
+		c.mu.Unlock()
+		return
+	}
+	switch c.machine(host).State() {
+	case protocol.StIdle, protocol.StConnecting, protocol.StSuspended, protocol.StDisconnected:
+		// No live session toward this server right now (e.g. a voluntary
+		// suspend in flight): stop probing; a connect result re-arms.
+		c.hbTimer = nil
+		c.mu.Unlock()
+		return
+	}
+	if c.hbAwait {
+		c.hbMisses++
+	} else {
+		c.hbMisses = 0
+	}
+	if c.hbMisses >= c.opts.LivenessMisses {
+		c.hbTimer = nil
+		c.onPeerLostLocked(host, "heartbeats unanswered")
+		c.mu.Unlock()
+		return
+	}
+	c.hbAwait = true
+	c.hbTimer = c.clk.AfterFunc(c.opts.HeartbeatInterval, c.heartbeatTick)
+	c.mu.Unlock()
+	c.send(host, protocol.MsgHeartbeat, protocol.Heartbeat{SessionID: sess})
+}
+
+func (c *Client) onHeartbeatAck(from string, m protocol.HeartbeatAck) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if from != c.current || c.recovering != "" {
+		return
+	}
+	if m.OK {
+		c.hbAwait = false
+		c.hbMisses = 0
+		return
+	}
+	// The server answers but holds no session for us: it restarted and
+	// lost its state. Skip the remaining miss budget and recover now.
+	if c.sessions[from] != "" && c.machine(from).State() != protocol.StSuspended {
+		c.onPeerLostLocked(from, "server lost session state")
+	}
+}
+
+// onPeerLostLocked declares the server dead: the paper's suspend state is
+// entered, the presentation freezes, and a resume-by-session-ID connect
+// probes the server until the grace window closes, after which the client
+// fails over. Caller holds c.mu.
+func (c *Client) onPeerLostLocked(host, why string) {
+	if c.recovering == host {
+		return
+	}
+	c.opts.Obs.Counter("client_liveness_losses").Inc()
+	c.opts.Obs.Emit(obs.EvLiveness, host, 0, "peer lost: "+why)
+	c.logEvent("liveness lost: " + host)
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+		c.hbTimer = nil
+	}
+	mach := c.machine(host)
+	if mach.Can(protocol.InPeerLost) {
+		mach.Apply(protocol.InPeerLost)
+	}
+	if c.player != nil && !c.player.Finished() && c.docHost == host {
+		c.player.Pause()
+	}
+	c.recovering = host
+	grace := time.Duration(c.graceSecs) * time.Second
+	if grace <= 0 {
+		grace = 30 * time.Second
+	}
+	c.recoverDeadline = c.clk.Now().Add(grace)
+	c.sendReqLocked(host, protocol.MsgConnect, protocol.Connect{
+		User: c.opts.User, ResumeSession: c.sessions[host],
+	}, c.recoverDeadline, func() {
+		c.recovering = ""
+		c.failoverLocked(host)
+	})
+}
+
+// failoverLocked abandons a dead server and re-admits the session at the
+// first untried replica, re-requesting the interrupted document there.
+// Caller holds c.mu.
+func (c *Client) failoverLocked(deadHost string) {
+	c.recovering = ""
+	if c.failedPeers == nil {
+		c.failedPeers = map[string]bool{}
+	}
+	c.failedPeers[deadHost] = true
+	delete(c.sessions, deadHost)
+	delete(c.suspendTokens, deadHost)
+	c.cancelPendingLocked(deadHost)
+	mach := c.machine(deadHost)
+	if mach.Can(protocol.InGraceExpired) {
+		mach.Apply(protocol.InGraceExpired)
+	}
+	doc := c.docName
+	c.teardownPresentationLocked()
+	var target string
+	for _, p := range c.peers {
+		if p != deadHost && p != c.Host && !c.failedPeers[p] {
+			target = p
+			break
+		}
+	}
+	if target == "" {
+		c.lastError = "session lost: no failover peer available"
+		c.logEvent("session lost: no failover peer")
+		c.opts.Obs.Emit(obs.EvFailover, deadHost, 0, "no replica available")
+		if c.current == deadHost {
+			c.current = ""
+		}
+		return
+	}
+	c.opts.Obs.Counter("client_failovers").Inc()
+	c.opts.Obs.Emit(obs.EvFailover, deadHost, 0, "failing over to "+target)
+	c.logEvent("failover " + deadHost + " → " + target)
+	if doc != "" {
+		c.pendingDoc = doc
+	}
+	c.connectLocked(target, true)
+}

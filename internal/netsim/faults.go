@@ -1,0 +1,145 @@
+// Fault injection for the simulated network: scheduled bidirectional
+// partitions between host pairs, scheduled host blackouts (outages), manual
+// host crash/restart, and one-shot targeted drops. Faults kill packets of
+// both reliability classes at Send time — a partition severs the modeled
+// TCP connection just as it severs UDP — so the control plane's own
+// retransmission, liveness and failover machinery is what has to recover.
+//
+// All fault schedules are expressed as offsets from the network's epoch
+// (the clock time at New), the same convention as Phase, so a run is fully
+// determined by the seed and the fault schedule.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// faultWindow is one scheduled fault interval, as offsets from the epoch.
+type faultWindow struct {
+	start, end time.Duration
+}
+
+func (w faultWindow) contains(off time.Duration) bool {
+	return off >= w.start && off < w.end
+}
+
+// oneShotDrop swallows the next n packets matching its predicate.
+type oneShotDrop struct {
+	remaining int
+	reason    string
+	match     func(Packet) bool
+}
+
+// partitionKey is direction-independent: a partition severs both ways.
+func partitionKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "⇹" + b
+}
+
+// AddPartition schedules a bidirectional partition between hosts a and b:
+// every packet between them sent in [start, start+duration) — reliable or
+// not — is dropped. start is an offset from the network's epoch.
+func (n *Network) AddPartition(a, b string, start, duration time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitions == nil {
+		n.partitions = map[string][]faultWindow{}
+	}
+	key := partitionKey(a, b)
+	n.partitions[key] = append(n.partitions[key], faultWindow{start: start, end: start + duration})
+}
+
+// AddOutage schedules a blackhole for one host: during [start,
+// start+duration) every packet to or from it is dropped, modeling a crash
+// followed by a restart. start is an offset from the network's epoch.
+func (n *Network) AddOutage(host string, start, duration time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.outages == nil {
+		n.outages = map[string][]faultWindow{}
+	}
+	n.outages[host] = append(n.outages[host], faultWindow{start: start, end: start + duration})
+}
+
+// SetHostDown crashes (true) or restarts (false) a host immediately: while
+// down, every packet to or from it is dropped. Unlike AddOutage the
+// duration is open-ended, for tests that decide recovery dynamically.
+func (n *Network) SetHostDown(host string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.downHosts == nil {
+		n.downHosts = map[string]bool{}
+	}
+	if down {
+		n.downHosts[host] = true
+	} else {
+		delete(n.downHosts, host)
+	}
+}
+
+// HostDown reports whether the host is currently crashed via SetHostDown.
+func (n *Network) HostDown(host string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.downHosts[host]
+}
+
+// DropNext swallows the next count packets sent from one host to another
+// (either direction fixed by the arguments), regardless of reliability —
+// the precision tool for losing exactly one reply.
+func (n *Network) DropNext(from, to string, count int) {
+	n.DropNextMatching(count, fmt.Sprintf("one-shot drop %s→%s", from, to), func(pkt Packet) bool {
+		return pkt.From.Host() == from && pkt.To.Host() == to
+	})
+}
+
+// DropNextMatching swallows the next count packets satisfying pred. reason
+// is reported to the DropHandler and in the Send error.
+func (n *Network) DropNextMatching(count int, reason string, pred func(Packet) bool) {
+	if count <= 0 || pred == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.oneShots = append(n.oneShots, &oneShotDrop{remaining: count, reason: reason, match: pred})
+}
+
+// faultLocked decides whether an injected fault kills the packet. Caller
+// holds n.mu. offset is the send time relative to the epoch.
+func (n *Network) faultLocked(pkt Packet, offset time.Duration) (string, bool) {
+	fromH, toH := pkt.From.Host(), pkt.To.Host()
+	if n.downHosts[fromH] {
+		return "host down: " + fromH, true
+	}
+	if n.downHosts[toH] {
+		return "host down: " + toH, true
+	}
+	for _, w := range n.outages[fromH] {
+		if w.contains(offset) {
+			return "outage: " + fromH, true
+		}
+	}
+	for _, w := range n.outages[toH] {
+		if w.contains(offset) {
+			return "outage: " + toH, true
+		}
+	}
+	for _, w := range n.partitions[partitionKey(fromH, toH)] {
+		if w.contains(offset) {
+			return "partition: " + fromH + "⇹" + toH, true
+		}
+	}
+	for i, os := range n.oneShots {
+		if os.match(pkt) {
+			os.remaining--
+			if os.remaining <= 0 {
+				n.oneShots = append(n.oneShots[:i], n.oneShots[i+1:]...)
+			}
+			return os.reason, true
+		}
+	}
+	return "", false
+}

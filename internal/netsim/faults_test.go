@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// count wires a delivery counter to an address.
+func count(net *Network, addr Addr) *int {
+	n := new(int)
+	net.Listen(addr, func(Packet) { *n++ })
+	return n
+}
+
+func TestPartitionWindowDropsBothDirections(t *testing.T) {
+	clk, net := newSim()
+	atB := count(net, "b:1")
+	atA := count(net, "a:1")
+	net.AddPartition("a", "b", time.Second, 2*time.Second)
+
+	send := func() {
+		net.Send(Packet{From: "a:9", To: "b:1", Payload: []byte("x"), Reliable: true})
+		net.Send(Packet{From: "b:9", To: "a:1", Payload: []byte("y")})
+	}
+	send() // t=0: before the window
+	clk.Advance(1500 * time.Millisecond)
+	send() // t=1.5s: inside
+	clk.Advance(2 * time.Second)
+	send() // t=3.5s: after
+	clk.RunUntilIdle()
+
+	if *atB != 2 || *atA != 2 {
+		t.Fatalf("deliveries a→b=%d b→a=%d, want 2 and 2", *atB, *atA)
+	}
+}
+
+func TestPartitionSendError(t *testing.T) {
+	clk, net := newSim()
+	net.Listen("b:1", func(Packet) {})
+	net.AddPartition("a", "b", 0, time.Second)
+	err := net.Send(Packet{From: "a:1", To: "b:1", Payload: []byte("x")})
+	if err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("Send during partition = %v, want partition error", err)
+	}
+	clk.Advance(time.Second)
+	if err := net.Send(Packet{From: "a:1", To: "b:1", Payload: []byte("x")}); err != nil {
+		t.Fatalf("Send after partition = %v, want nil", err)
+	}
+	// Unrelated pair is unaffected during the window.
+	if err := net.Send(Packet{From: "a:1", To: "c:1", Payload: []byte("x")}); err != nil {
+		t.Fatalf("Send to unrelated host = %v, want nil", err)
+	}
+}
+
+func TestOutageBlackholesHost(t *testing.T) {
+	clk, net := newSim()
+	atS := count(net, "s:1")
+	atC := count(net, "c:1")
+	net.AddOutage("s", 0, time.Second)
+
+	net.Send(Packet{From: "c:1", To: "s:1", Payload: []byte("in")})
+	net.Send(Packet{From: "s:1", To: "c:1", Payload: []byte("out")})
+	clk.Advance(time.Second)
+	net.Send(Packet{From: "c:1", To: "s:1", Payload: []byte("in")})
+	net.Send(Packet{From: "s:1", To: "c:1", Payload: []byte("out")})
+	clk.RunUntilIdle()
+
+	if *atS != 1 || *atC != 1 {
+		t.Fatalf("deliveries to s=%d to c=%d, want 1 and 1", *atS, *atC)
+	}
+}
+
+func TestHostDownAndRestart(t *testing.T) {
+	clk, net := newSim()
+	atS := count(net, "s:1")
+	net.SetHostDown("s", true)
+	if !net.HostDown("s") {
+		t.Fatal("HostDown = false after SetHostDown(true)")
+	}
+	if err := net.Send(Packet{From: "c:1", To: "s:1", Payload: []byte("x")}); err == nil {
+		t.Fatal("Send to down host succeeded")
+	}
+	net.SetHostDown("s", false)
+	if err := net.Send(Packet{From: "c:1", To: "s:1", Payload: []byte("x")}); err != nil {
+		t.Fatalf("Send after restart = %v", err)
+	}
+	clk.RunUntilIdle()
+	if *atS != 1 {
+		t.Fatalf("deliveries = %d, want 1", *atS)
+	}
+}
+
+func TestDropNextCountsExactly(t *testing.T) {
+	clk, net := newSim()
+	atB := count(net, "b:1")
+	net.DropNext("a", "b", 2)
+	for i := 0; i < 4; i++ {
+		net.Send(Packet{From: "a:1", To: "b:1", Payload: []byte("x"), Reliable: true})
+	}
+	// Reverse direction is untouched.
+	atA := count(net, "a:1")
+	net.Send(Packet{From: "b:1", To: "a:1", Payload: []byte("y")})
+	clk.RunUntilIdle()
+	if *atB != 2 {
+		t.Fatalf("a→b deliveries = %d, want 2 (2 dropped)", *atB)
+	}
+	if *atA != 1 {
+		t.Fatalf("b→a deliveries = %d, want 1", *atA)
+	}
+}
+
+func TestFaultDropsReportedToDropHandler(t *testing.T) {
+	clk, net := newSim()
+	var reasons []string
+	net.DropHandler = func(_ Packet, reason string) { reasons = append(reasons, reason) }
+	net.Listen("b:1", func(Packet) {})
+	net.DropNext("a", "b", 1)
+	net.Send(Packet{From: "a:1", To: "b:1", Payload: []byte("x")})
+	clk.RunUntilIdle()
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "one-shot drop") {
+		t.Fatalf("drop reasons = %v", reasons)
+	}
+	st := net.Stats("a", "b")
+	if st.Dropped != 1 {
+		t.Fatalf("link dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// TestFaultScheduleDeterministic replays the same seed and fault schedule
+// over a lossy link and expects bit-identical delivery traces.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		clk := clock.NewSim()
+		net := New(clk, 77)
+		net.SetLink("a", "b", LinkConfig{Delay: 10 * time.Millisecond, Loss: 0.2})
+		var arrivals []time.Duration
+		net.Listen("b:1", func(Packet) { arrivals = append(arrivals, clk.Since(clock.Epoch)) })
+		net.AddPartition("a", "b", 200*time.Millisecond, 300*time.Millisecond)
+		for i := 0; i < 50; i++ {
+			net.Send(Packet{From: "a:1", To: "b:1", Payload: []byte("x")})
+			clk.Advance(20 * time.Millisecond)
+		}
+		clk.RunUntilIdle()
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("arrivals = %d, want some but not all of 50", len(a))
+	}
+}

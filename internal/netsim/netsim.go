@@ -69,8 +69,12 @@ type Handler func(Packet)
 // transport.Live implements it over real UDP/TCP sockets for the
 // cmd/hermesd and cmd/hermes binaries.
 type Net interface {
-	// Send injects a packet toward its destination.
-	Send(Packet)
+	// Send injects a packet toward its destination. A non-nil error means
+	// the transport itself refused or discarded the packet — a fault-injected
+	// drop in the simulator, a closed or saturated socket in the live
+	// transport. Ordinary stochastic loss inside the network is NOT an
+	// error: it returns nil, exactly as a real socket send would.
+	Send(Packet) error
 	// Listen registers (or, with a nil handler, removes) the handler for
 	// an address. It returns a non-nil error when the transport cannot
 	// actually bind the address; only real-socket implementations can
@@ -191,6 +195,14 @@ type Network struct {
 	// Sniffer, when set, observes every packet at Send time (before any
 	// loss decision); used for protocol-stack byte accounting.
 	Sniffer func(Packet)
+
+	// Fault-injection state (see faults.go). All guarded by mu; windows are
+	// offsets from the network's epoch, so a given seed plus a given fault
+	// schedule replays identically.
+	partitions map[string][]faultWindow
+	outages    map[string][]faultWindow
+	downHosts  map[string]bool
+	oneShots   []*oneShotDrop
 }
 
 // New creates a network on the given clock. seed drives all randomness.
@@ -312,8 +324,10 @@ func (l *link) activePhase(t time.Duration) (lossF float64, extraD, extraJ time.
 
 // Send injects a packet. Delivery (or drop) is decided immediately and the
 // handler is invoked via the clock at the computed arrival time. Sending to
-// an address with no listener silently drops at arrival time.
-func (n *Network) Send(pkt Packet) {
+// an address with no listener silently drops at arrival time. Only
+// fault-injected drops (partitions, outages, downed hosts, one-shot drops)
+// return an error; stochastic loss and tail drop return nil.
+func (n *Network) Send(pkt Packet) error {
 	pkt.SentAt = n.clk.Now()
 	if sn := n.Sniffer; sn != nil {
 		sn(pkt)
@@ -324,6 +338,19 @@ func (n *Network) Send(pkt Packet) {
 	l := n.getLinkLocked(pkt.From.Host(), pkt.To.Host())
 	l.stats.Sent++
 	l.stats.Bytes += int64(pkt.Size())
+
+	// Injected faults kill the packet regardless of reliability: a
+	// partitioned or downed host drops TCP segments just as surely as UDP
+	// datagrams.
+	if reason, faulted := n.faultLocked(pkt, offset); faulted {
+		l.stats.Dropped++
+		dh := n.DropHandler
+		n.mu.Unlock()
+		if dh != nil {
+			dh(pkt, reason)
+		}
+		return fmt.Errorf("netsim: fault drop %s→%s: %s", pkt.From, pkt.To, reason)
+	}
 
 	lossF, extraD, extraJ, bwF := l.activePhase(offset)
 
@@ -341,7 +368,7 @@ func (n *Network) Send(pkt Packet) {
 			if dh != nil {
 				dh(pkt, "egress overflow")
 			}
-			return
+			return nil
 		}
 		eg.nextFree = egressStart.Add(egTx)
 		egressStart = eg.nextFree
@@ -369,7 +396,7 @@ func (n *Network) Send(pkt Packet) {
 		if dh != nil {
 			dh(pkt, "queue overflow")
 		}
-		return
+		return nil
 	}
 	l.nextFree = depart.Add(txTime)
 
@@ -408,7 +435,7 @@ func (n *Network) Send(pkt Packet) {
 		if dh != nil {
 			dh(pkt, "loss")
 		}
-		return
+		return nil
 	}
 	arrival := l.nextFree.Add(delay)
 	if lost && pkt.Reliable {
@@ -451,6 +478,7 @@ func (n *Network) Send(pkt Packet) {
 	if deliverCopies == 2 {
 		n.clk.AfterFunc(arrival.Sub(now)+dupDelay, deliver)
 	}
+	return nil
 }
 
 func maxf(a, b float64) float64 {

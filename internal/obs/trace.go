@@ -49,6 +49,27 @@ const (
 	EvAdmissionDecision
 	// EvReconnect marks a transport-level connection loss and redial.
 	EvReconnect
+	// EvCtrlRetry marks a control request retransmitted after a reply
+	// timeout.
+	EvCtrlRetry
+	// EvCtrlTimeout marks a control request abandoned after its retries
+	// (or its deadline) were exhausted.
+	EvCtrlTimeout
+	// EvCtrlDedup marks a duplicated control request absorbed by the
+	// server's idempotent dedup cache (the cached reply is re-sent, the
+	// handler does not run again).
+	EvCtrlDedup
+	// EvLiveness marks a session liveness transition: a peer declared dead
+	// after missed heartbeats (value 0) or alive again (value 1).
+	EvLiveness
+	// EvFailover marks a client abandoning a dead server for a replica.
+	EvFailover
+	// EvSessionResume marks a suspended session resumed in place (the peer
+	// returned within the grace window).
+	EvSessionResume
+	// EvSendFailure marks a control message the transport reported it could
+	// not deliver (dropped reply, queue overflow, partitioned link).
+	EvSendFailure
 )
 
 func (k EventKind) String() string {
@@ -73,6 +94,20 @@ func (k EventKind) String() string {
 		return "admission-decision"
 	case EvReconnect:
 		return "reconnect"
+	case EvCtrlRetry:
+		return "ctrl-retry"
+	case EvCtrlTimeout:
+		return "ctrl-timeout"
+	case EvCtrlDedup:
+		return "ctrl-dedup"
+	case EvLiveness:
+		return "liveness"
+	case EvFailover:
+		return "failover"
+	case EvSessionResume:
+		return "session-resume"
+	case EvSendFailure:
+		return "send-failure"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}

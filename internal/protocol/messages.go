@@ -5,11 +5,13 @@
 // the paper's Figure 4.
 //
 // Control messages travel over the reliable channel; they are encoded as a
-// one-byte type tag followed by a JSON body, so the wire format is
+// one-byte type tag, a 4-byte request ID (0 for fire-and-forget messages;
+// replies echo the request's ID) and a JSON body, so the wire format is
 // self-describing and diffable in traces.
 package protocol
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 
@@ -47,6 +49,8 @@ const (
 	MsgAnnotations
 	MsgStatsRequest
 	MsgStatsResult
+	MsgHeartbeat
+	MsgHeartbeatAck
 )
 
 func (t MsgType) String() string {
@@ -62,6 +66,7 @@ func (t MsgType) String() string {
 		MsgDisconnect: "disconnect", MsgError: "error", MsgFeedback: "feedback",
 		MsgListAnnotations: "list-annotations", MsgAnnotations: "annotations",
 		MsgStatsRequest: "stats-request", MsgStatsResult: "stats-result",
+		MsgHeartbeat: "heartbeat", MsgHeartbeatAck: "heartbeat-ack",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -84,6 +89,14 @@ type Connect struct {
 	FloorLevel int `json:"floorLevel"`
 	// Resume identifies a suspended session being returned to.
 	ResumeToken string `json:"resumeToken,omitempty"`
+	// ResumeSession recovers a live session by its ID after a liveness loss
+	// (partition, server restart): the client never received a resume token
+	// because it never chose to leave. The server re-attaches if the session
+	// still exists (possibly auto-suspended), else answers SessionLost.
+	ResumeSession string `json:"resumeSession,omitempty"`
+	// Failover marks a re-admission after the original server died; the
+	// admission layer records these separately.
+	Failover bool `json:"failover,omitempty"`
 }
 
 // ConnectResult answers a Connect.
@@ -95,6 +108,18 @@ type ConnectResult struct {
 	GrantedRate      float64 `json:"grantedRate,omitempty"`
 	Degraded         bool    `json:"degraded,omitempty"`
 	Reason           string  `json:"reason,omitempty"`
+	// GraceSecs tells the client how long a lost session stays resumable,
+	// bounding its recovery probing before failover.
+	GraceSecs int `json:"graceSecs,omitempty"`
+	// Peers lists replica servers the client may fail over to.
+	Peers []string `json:"peers,omitempty"`
+	// Resumed marks a successful ResumeSession recovery: same session,
+	// paused senders restarted.
+	Resumed bool `json:"resumed,omitempty"`
+	// SessionLost answers a ResumeSession for a session this server no
+	// longer holds (grace expired, or the server restarted and lost state);
+	// the client should fail over with fresh credentials.
+	SessionLost bool `json:"sessionLost,omitempty"`
 }
 
 // SubscriptionForm is the paper's subscription form: "personal data such as
@@ -266,15 +291,42 @@ type StatsResult struct {
 	TraceDropped int64 `json:"traceDropped,omitempty"`
 }
 
-// Encode frames a message as [type byte | JSON body].
+// Heartbeat is the client's periodic liveness probe on the control channel.
+type Heartbeat struct {
+	SessionID string `json:"sessionId,omitempty"`
+}
+
+// HeartbeatAck answers a Heartbeat. OK=false tells the client the server no
+// longer holds its session (a restart), so it can recover without waiting
+// for missed beats.
+type HeartbeatAck struct {
+	OK        bool   `json:"ok"`
+	SessionID string `json:"sessionId,omitempty"`
+}
+
+// headerSize is the frame header: one type byte plus a 4-byte big-endian
+// request ID (0 = fire-and-forget, no reply correlation).
+const headerSize = 5
+
+// Encode frames a fire-and-forget message (request ID 0) as
+// [type | reqID=0 | JSON body].
 func Encode(t MsgType, body interface{}) ([]byte, error) {
+	return EncodeReq(t, 0, body)
+}
+
+// EncodeReq frames a message as [type byte | 4-byte big-endian request ID |
+// JSON body]. Requests carry a nonzero ID; replies echo it, which lets the
+// client match replies to pending retransmissions and the server dedup
+// duplicated requests.
+func EncodeReq(t MsgType, reqID uint32, body interface{}) ([]byte, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: encode %s: %w", t, err)
 	}
-	out := make([]byte, 1+len(data))
+	out := make([]byte, headerSize+len(data))
 	out[0] = byte(t)
-	copy(out[1:], data)
+	binary.BigEndian.PutUint32(out[1:headerSize], reqID)
+	copy(out[headerSize:], data)
 	return out, nil
 }
 
@@ -287,12 +339,28 @@ func MustEncode(t MsgType, body interface{}) []byte {
 	return b
 }
 
-// Decode splits a framed message; the body remains JSON for DecodeBody.
-func Decode(buf []byte) (MsgType, []byte, error) {
-	if len(buf) < 1 {
-		return 0, nil, fmt.Errorf("protocol: empty message")
+// MustEncodeReq is EncodeReq for bodies that cannot fail.
+func MustEncodeReq(t MsgType, reqID uint32, body interface{}) []byte {
+	b, err := EncodeReq(t, reqID, body)
+	if err != nil {
+		panic(err)
 	}
-	return MsgType(buf[0]), buf[1:], nil
+	return b
+}
+
+// Decode splits a framed message, discarding the request ID; the body
+// remains JSON for DecodeBody.
+func Decode(buf []byte) (MsgType, []byte, error) {
+	t, _, body, err := DecodeReq(buf)
+	return t, body, err
+}
+
+// DecodeReq splits a framed message into type, request ID and JSON body.
+func DecodeReq(buf []byte) (MsgType, uint32, []byte, error) {
+	if len(buf) < headerSize {
+		return 0, 0, nil, fmt.Errorf("protocol: short message (%d bytes)", len(buf))
+	}
+	return MsgType(buf[0]), binary.BigEndian.Uint32(buf[1:headerSize]), buf[headerSize:], nil
 }
 
 // DecodeBody unmarshals a message body into out.

@@ -27,6 +27,27 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEncodeReqRoundTripsRequestID(t *testing.T) {
+	in := Heartbeat{SessionID: "s-1"}
+	buf := MustEncodeReq(MsgHeartbeat, 0xDEADBEEF, in)
+	mt, reqID, body, err := DecodeReq(buf)
+	if err != nil || mt != MsgHeartbeat || reqID != 0xDEADBEEF {
+		t.Fatalf("decode: %v %d %v", mt, reqID, err)
+	}
+	var out Heartbeat
+	if err := DecodeBody(body, &out); err != nil || out != in {
+		t.Fatalf("round trip: %+v (%v)", out, err)
+	}
+	// Plain Encode produces the fire-and-forget request ID 0, and plain
+	// Decode reads EncodeReq frames (dropping the ID).
+	if _, reqID, _, _ := DecodeReq(MustEncode(MsgHeartbeat, in)); reqID != 0 {
+		t.Fatalf("Encode reqID = %d, want 0", reqID)
+	}
+	if mt, _, err := Decode(buf); err != nil || mt != MsgHeartbeat {
+		t.Fatalf("Decode on EncodeReq frame: %v %v", mt, err)
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	if _, _, err := Decode(nil); err == nil {
 		t.Fatal("empty decode accepted")
@@ -66,7 +87,7 @@ func TestDocResponseRoundTrip(t *testing.T) {
 }
 
 func TestMsgTypeNames(t *testing.T) {
-	for mt := MsgConnect; mt <= MsgFeedback; mt++ {
+	for mt := MsgConnect; mt <= MsgHeartbeatAck; mt++ {
 		if strings.HasPrefix(mt.String(), "msg-") {
 			t.Fatalf("type %d unnamed", mt)
 		}

@@ -93,6 +93,12 @@ const (
 	InGraceExpired
 	// InDisconnect: user quits.
 	InDisconnect
+	// InPeerLost: heartbeats went unanswered; the session is involuntarily
+	// suspended while the client probes for recovery.
+	InPeerLost
+	// InRecover: a suspended session was resumed in place after a liveness
+	// loss — straight back to viewing, the presentation continues.
+	InRecover
 )
 
 func (i Input) String() string {
@@ -100,7 +106,7 @@ func (i Input) String() string {
 		"connect", "auth-ok", "auth-need-subscribe", "auth-reject",
 		"subscribed", "subscribe-fail", "request-doc", "doc-ready",
 		"doc-fail", "redirect", "presentation-end", "pause", "resume",
-		"return", "grace-expired", "disconnect",
+		"return", "grace-expired", "disconnect", "peer-lost", "recover",
 	}
 	if int(i) < len(names) {
 		return names[i]
@@ -127,12 +133,14 @@ var transitions = map[State]map[Input]State{
 	StBrowsing: {
 		InRequestDoc: StRequesting,
 		InDisconnect: StDisconnected,
+		InPeerLost:   StSuspended,
 	},
 	StRequesting: {
 		InDocReady:   StViewing,
 		InDocFail:    StBrowsing,
 		InRedirect:   StSuspended,
 		InDisconnect: StDisconnected,
+		InPeerLost:   StSuspended,
 	},
 	StViewing: {
 		InPause:           StPaused,
@@ -140,14 +148,17 @@ var transitions = map[State]map[Input]State{
 		InRequestDoc:      StRequesting,
 		InRedirect:        StSuspended,
 		InDisconnect:      StDisconnected,
+		InPeerLost:        StSuspended,
 	},
 	StPaused: {
 		InResume:     StViewing,
 		InDisconnect: StDisconnected,
 		InRedirect:   StSuspended,
+		InPeerLost:   StSuspended,
 	},
 	StSuspended: {
 		InReturn:       StBrowsing,
+		InRecover:      StViewing,
 		InGraceExpired: StDisconnected,
 		InDisconnect:   StDisconnected,
 	},
@@ -220,7 +231,7 @@ func Inputs() []Input {
 	return []Input{InConnect, InAuthOK, InAuthNeedSubscribe, InAuthReject,
 		InSubscribed, InSubscribeFail, InRequestDoc, InDocReady, InDocFail,
 		InRedirect, InPresentationEnd, InPause, InResume, InReturn,
-		InGraceExpired, InDisconnect}
+		InGraceExpired, InDisconnect, InPeerLost, InRecover}
 }
 
 // Edges returns the full transition table as steps, for coverage checks.

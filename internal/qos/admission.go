@@ -58,6 +58,11 @@ type ConnRequest struct {
 	// (the QoS/Quality-of-Presentation floor); admission below this is a
 	// rejection.
 	MinRate float64
+	// Resumed marks a failover re-admission: the user already held a
+	// session on a replica that died, and this request restores it here.
+	// It goes through the same capacity check as a fresh connection, but
+	// is counted separately so failover load is visible.
+	Resumed bool
 }
 
 // Verdict classifies an admission decision.
@@ -152,8 +157,14 @@ func (a *Admission) recordDecisionLocked(req ConnRequest, d Decision) {
 	verdict := d.Verdict.String()
 	class := req.Class.String()
 	a.obs.Counter(obs.Label("admission_decisions", "class", class, "verdict", verdict)).Inc()
+	if req.Resumed {
+		a.obs.Counter("admission_failover_readmits").Inc()
+	}
 	a.obs.Gauge("admission_reserved_bps").Set(int64(a.reservedLocked()))
 	note := fmt.Sprintf("%s class=%s user=%s rate=%.0f", verdict, class, req.User, d.Rate)
+	if req.Resumed {
+		note += " (failover re-admission)"
+	}
 	if len(d.Squeezed) > 0 {
 		note += fmt.Sprintf(" squeezed=%d", len(d.Squeezed))
 	}

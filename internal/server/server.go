@@ -37,6 +37,14 @@ type Options struct {
 	// DisableGrading turns the long-term quality adaptation off (the E3
 	// ablation baseline).
 	DisableGrading bool
+	// HeartbeatEvery is the expected client heartbeat period; the liveness
+	// sweep runs at this cadence.
+	HeartbeatEvery time.Duration
+	// LivenessMisses is how many consecutive missed heartbeats declare a
+	// client dead and auto-suspend its session (the grace timer then runs
+	// as for a voluntary suspend). Liveness is only enforced on sessions
+	// that have sent at least one heartbeat.
+	LivenessMisses int
 	// Obs, when set, receives session/grading/admission telemetry and
 	// serves the control-protocol stats snapshot.
 	Obs *obs.Scope
@@ -54,6 +62,12 @@ func (o *Options) fill() {
 	}
 	if o.Policy.Alpha == 0 {
 		o.Policy = qos.DefaultPolicy()
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.LivenessMisses <= 0 {
+		o.LivenessMisses = 3
 	}
 }
 
@@ -75,10 +89,23 @@ type Server struct {
 
 	sessions  map[string]*session // keyed by client control address
 	byToken   map[string]*session
+	byID      map[string]*session // keyed by session ID, for ResumeSession recovery
 	nextID    int
 	nextSSRC  uint32
 	nextQuery int
 	searches  map[int]*pendingSearch
+
+	// dedup caches, per client control address, the replies to recently
+	// handled request IDs so retransmitted requests are answered
+	// idempotently instead of re-running their side effects. It has its
+	// own lock so replies can be cached while handlers hold mu.
+	dmu   sync.Mutex
+	dedup map[string]*dedupRing
+	// sweepOn tracks whether the liveness sweep timer is armed; it arms
+	// lazily on the first heartbeat and disarms when no heartbeat-capable
+	// session remains, so sessions driven by raw packets (tests, old
+	// clients) are never liveness-policed.
+	sweepOn bool
 
 	// annotations holds user remarks per document name ("the user may
 	// also annotate the selected document with his own remarks").
@@ -102,10 +129,15 @@ type session struct {
 	srTimer     *clock.Timer
 	flowOrigin  time.Time
 	startedAt   time.Time
+	// lastBeat is the arrival time of the client's latest heartbeat (zero
+	// until the first one: such sessions are exempt from the liveness
+	// sweep).
+	lastBeat time.Time
 }
 
 type pendingSearch struct {
 	client  netsim.Addr
+	reqID   uint32
 	hits    []protocol.TopicInfo
 	waiting int
 	timer   *clock.Timer
@@ -126,6 +158,8 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 		opts:        opts,
 		sessions:    map[string]*session{},
 		byToken:     map[string]*session{},
+		byID:        map[string]*session{},
+		dedup:       map[string]*dedupRing{},
 		searches:    map[int]*pendingSearch{},
 		annotations: map[string][]protocol.AnnotationRecord{},
 		nextSSRC:    1000,
@@ -171,38 +205,130 @@ func (s *Server) QoSManager(client netsim.Addr) *qos.Manager {
 	return nil
 }
 
+// dedupCap bounds the per-client reply cache.
+const dedupCap = 64
+
+// dedupRing is a bounded per-client cache of request IDs and their encoded
+// replies. A nil frame marks a request still being handled (in flight):
+// its duplicates are dropped silently rather than re-executed.
+type dedupRing struct {
+	entries map[uint32][]byte
+	order   []uint32
+}
+
+// get returns the cached reply frame and whether the request ID was seen.
+func (r *dedupRing) get(reqID uint32) ([]byte, bool) {
+	frame, seen := r.entries[reqID]
+	return frame, seen
+}
+
+// put records (or completes) a request ID, evicting the oldest when full.
+func (r *dedupRing) put(reqID uint32, frame []byte) {
+	if _, seen := r.entries[reqID]; !seen {
+		if len(r.order) >= dedupCap {
+			delete(r.entries, r.order[0])
+			r.order = r.order[1:]
+		}
+		r.order = append(r.order, reqID)
+	}
+	r.entries[reqID] = frame
+}
+
+// dedupRingLocked returns the client's reply cache; caller holds dmu.
+func (s *Server) dedupRingLocked(client string) *dedupRing {
+	ring, ok := s.dedup[client]
+	if !ok {
+		ring = &dedupRing{entries: map[uint32][]byte{}}
+		s.dedup[client] = ring
+	}
+	return ring
+}
+
+// reply sends a fire-and-forget control message (request ID 0).
 func (s *Server) reply(to netsim.Addr, t protocol.MsgType, body interface{}) {
-	s.net.Send(netsim.Packet{
+	s.replyReq(to, 0, t, body)
+}
+
+// replyReq answers a request, echoing its request ID and caching the
+// encoded reply for idempotent retransmission handling.
+func (s *Server) replyReq(to netsim.Addr, reqID uint32, t protocol.MsgType, body interface{}) {
+	frame := protocol.MustEncodeReq(t, reqID, body)
+	if reqID != 0 {
+		s.dmu.Lock()
+		s.dedupRingLocked(string(to)).put(reqID, frame)
+		s.dmu.Unlock()
+	}
+	s.sendCtrl(to, frame)
+}
+
+// sendCtrl puts one control frame on the wire, making transport refusals
+// visible instead of silently losing replies.
+func (s *Server) sendCtrl(to netsim.Addr, frame []byte) {
+	err := s.net.Send(netsim.Packet{
 		From:     s.ctrlAddr(),
 		To:       to,
-		Payload:  protocol.MustEncode(t, body),
+		Payload:  frame,
 		Reliable: true,
 	})
+	if err != nil {
+		s.opts.Obs.Counter("server_reply_send_failures").Inc()
+		s.opts.Obs.Emit(obs.EvSendFailure, string(to), 0, "control send failed: "+err.Error())
+	}
+}
+
+// dedupable reports whether a message type is a client request whose
+// handling must be idempotent under retransmission.
+func dedupable(mt protocol.MsgType) bool {
+	switch mt {
+	case protocol.MsgConnect, protocol.MsgSubscribe, protocol.MsgTopicList,
+		protocol.MsgSearch, protocol.MsgDocRequest, protocol.MsgSuspend,
+		protocol.MsgListAnnotations, protocol.MsgStatsRequest:
+		return true
+	}
+	return false
 }
 
 // handle dispatches one control packet.
 func (s *Server) handle(pkt netsim.Packet) {
-	mt, body, err := protocol.Decode(pkt.Payload)
+	mt, reqID, body, err := protocol.DecodeReq(pkt.Payload)
 	if err != nil {
 		return
+	}
+	if reqID != 0 && dedupable(mt) {
+		s.dmu.Lock()
+		ring := s.dedupRingLocked(string(pkt.From))
+		if frame, seen := ring.get(reqID); seen {
+			s.dmu.Unlock()
+			s.opts.Obs.Counter("server_ctrl_dedup_hits").Inc()
+			s.opts.Obs.Emit(obs.EvCtrlDedup, string(pkt.From), int64(reqID), "duplicate "+mt.String())
+			if frame != nil {
+				// The reply is known: re-send it without re-running the
+				// handler. A nil frame means the original is still in
+				// flight, so the duplicate is simply dropped.
+				s.sendCtrl(pkt.From, frame)
+			}
+			return
+		}
+		ring.put(reqID, nil)
+		s.dmu.Unlock()
 	}
 	switch mt {
 	case protocol.MsgConnect:
 		var m protocol.Connect
 		if protocol.DecodeBody(body, &m) == nil {
-			s.onConnect(pkt.From, m)
+			s.onConnect(pkt.From, reqID, m)
 		}
 	case protocol.MsgSubscribe:
 		var m protocol.SubscriptionForm
 		if protocol.DecodeBody(body, &m) == nil {
-			s.onSubscribe(pkt.From, m)
+			s.onSubscribe(pkt.From, reqID, m)
 		}
 	case protocol.MsgTopicList:
-		s.reply(pkt.From, protocol.MsgTopics, protocol.Topics{Topics: s.db.Topics(s.Name)})
+		s.replyReq(pkt.From, reqID, protocol.MsgTopics, protocol.Topics{Topics: s.db.Topics(s.Name)})
 	case protocol.MsgSearch:
 		var m protocol.Search
 		if protocol.DecodeBody(body, &m) == nil {
-			s.onSearch(pkt.From, m)
+			s.onSearch(pkt.From, reqID, m)
 		}
 	case protocol.MsgSearchResult:
 		var m protocol.SearchResult
@@ -212,7 +338,12 @@ func (s *Server) handle(pkt netsim.Packet) {
 	case protocol.MsgDocRequest:
 		var m protocol.DocRequest
 		if protocol.DecodeBody(body, &m) == nil {
-			s.onDocRequest(pkt.From, m)
+			s.onDocRequest(pkt.From, reqID, m)
+		}
+	case protocol.MsgHeartbeat:
+		var m protocol.Heartbeat
+		if protocol.DecodeBody(body, &m) == nil {
+			s.onHeartbeat(pkt.From, m)
 		}
 	case protocol.MsgFeedback:
 		var m protocol.Feedback
@@ -239,32 +370,128 @@ func (s *Server) handle(pkt netsim.Packet) {
 	case protocol.MsgListAnnotations:
 		var m protocol.ListAnnotations
 		if protocol.DecodeBody(body, &m) == nil {
-			s.onListAnnotations(pkt.From, m)
+			s.onListAnnotations(pkt.From, reqID, m)
 		}
 	case protocol.MsgSuspend:
-		s.onSuspend(pkt.From)
+		s.onSuspend(pkt.From, reqID)
 	case protocol.MsgDisconnect:
 		s.onDisconnect(pkt.From)
 	case protocol.MsgStatsRequest:
-		s.onStats(pkt.From)
+		s.onStats(pkt.From, reqID)
 	}
+}
+
+// onHeartbeat refreshes the session's liveness deadline and acks. An ack
+// with OK=false tells the client this server holds no such session — the
+// fast path to failover after a server restart.
+func (s *Server) onHeartbeat(from netsim.Addr, m protocol.Heartbeat) {
+	s.mu.Lock()
+	sess, ok := s.sessions[string(from)]
+	if ok && !sess.suspended && (m.SessionID == "" || m.SessionID == sess.id) {
+		sess.lastBeat = s.clk.Now()
+		s.ensureSweepLocked()
+		id := sess.id
+		s.mu.Unlock()
+		s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{OK: true, SessionID: id})
+		return
+	}
+	s.mu.Unlock()
+	s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{OK: false})
+}
+
+// ensureSweepLocked arms the liveness sweep if it is not already running.
+func (s *Server) ensureSweepLocked() {
+	if s.sweepOn {
+		return
+	}
+	s.sweepOn = true
+	s.clk.AfterFunc(s.opts.HeartbeatEvery, s.sweepLiveness)
+}
+
+// sweepLiveness auto-suspends every heartbeat-capable session whose client
+// has gone silent past the miss budget; the ordinary grace timer then
+// decides between resumption and expiry. The sweep re-arms only while a
+// live heartbeat-capable session remains, so an idle server's virtual
+// clock can still drain.
+func (s *Server) sweepLiveness() {
+	s.mu.Lock()
+	now := s.clk.Now()
+	window := time.Duration(s.opts.LivenessMisses) * s.opts.HeartbeatEvery
+	rearm := false
+	for _, sess := range s.sessions {
+		if sess.suspended || sess.lastBeat.IsZero() {
+			continue
+		}
+		if now.Sub(sess.lastBeat) >= window {
+			s.suspendSessionLocked(sess)
+			s.opts.Obs.Counter("server_sessions_suspended_liveness").Inc()
+			s.opts.Obs.Emit(obs.EvLiveness, sess.user, 0,
+				"client silent; session "+sess.id+" auto-suspended")
+		} else {
+			rearm = true
+		}
+	}
+	if rearm {
+		s.clk.AfterFunc(s.opts.HeartbeatEvery, s.sweepLiveness)
+	} else {
+		s.sweepOn = false
+	}
+	s.mu.Unlock()
 }
 
 // onStats answers a sessionless telemetry snapshot request: the registry's
 // sorted metric points plus the shape of the trace ring. With telemetry
 // off it answers OK with no metrics, so monitoring tools can distinguish
 // "off" from "unreachable".
-func (s *Server) onStats(from netsim.Addr) {
+func (s *Server) onStats(from netsim.Addr, reqID uint32) {
 	res := protocol.StatsResult{OK: true, Server: s.Name}
 	if sc := s.opts.Obs; sc.Enabled() {
 		res.Metrics = sc.Registry().Snapshot()
 		res.TraceEvents = sc.Trace().Len()
 		res.TraceDropped = sc.Trace().Dropped()
 	}
-	s.reply(from, protocol.MsgStatsResult, res)
+	s.replyReq(from, reqID, protocol.MsgStatsResult, res)
 }
 
-func (s *Server) onConnect(from netsim.Addr, m protocol.Connect) {
+// connectExtrasLocked fills the recovery parameters every successful
+// ConnectResult carries: the grace window bounding recovery probing, and
+// the replica list for failover.
+func (s *Server) connectExtrasLocked(res *protocol.ConnectResult) {
+	res.GraceSecs = int(s.opts.Grace.Seconds())
+	res.Peers = append([]string(nil), s.peers...)
+}
+
+// reattachSessionLocked moves a (possibly suspended) session to a client
+// address and restarts its paused media. Shared by the voluntary
+// resume-token path and the liveness-recovery ResumeSession path.
+func (s *Server) reattachSessionLocked(sess *session, from netsim.Addr) {
+	sess.suspended = false
+	if sess.graceTimer != nil {
+		sess.graceTimer.Stop()
+		sess.graceTimer = nil
+	}
+	if sess.resumeToken != "" {
+		delete(s.byToken, sess.resumeToken)
+		sess.resumeToken = ""
+	}
+	delete(s.sessions, string(sess.client))
+	sess.client = from
+	s.sessions[string(from)] = sess
+	// Resume-before-expiry restores every paused sender, and a fresh
+	// liveness deadline keeps the sweep from instantly re-suspending.
+	sess.lastBeat = s.clk.Now()
+	for _, snd := range sess.senders {
+		snd.resume()
+	}
+	if len(sess.senders) > 0 {
+		if sess.srTimer != nil {
+			sess.srTimer.Stop()
+		}
+		sess.srTimer = s.clk.AfterFunc(5*time.Second, func() { s.sendSenderReports(sess) })
+	}
+}
+
+func (s *Server) onConnect(from netsim.Addr, reqID uint32, m protocol.Connect) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clk.Now()
@@ -274,34 +501,51 @@ func (s *Server) onConnect(from netsim.Addr, m protocol.Connect) {
 	if m.ResumeToken != "" {
 		sess, ok := s.byToken[m.ResumeToken]
 		if !ok {
-			s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+			s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
 				OK: false, Reason: "resume token expired"})
 			return
 		}
-		sess.suspended = false
-		if sess.graceTimer != nil {
-			sess.graceTimer.Stop()
-			sess.graceTimer = nil
+		s.reattachSessionLocked(sess, from)
+		res := protocol.ConnectResult{OK: true, SessionID: sess.id, Resumed: true}
+		s.connectExtrasLocked(&res)
+		s.replyReq(from, reqID, protocol.MsgConnectResult, res)
+		return
+	}
+
+	// Recovering a session by ID after a liveness loss: the client never
+	// got a resume token because it never chose to leave. If the session
+	// survived (possibly auto-suspended by the sweep), re-attach it;
+	// otherwise tell the client the session is gone so it fails over.
+	if m.ResumeSession != "" {
+		sess, ok := s.byID[m.ResumeSession]
+		if !ok {
+			s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
+				OK: false, SessionLost: true, Reason: "unknown session " + m.ResumeSession})
+			return
 		}
-		delete(s.byToken, m.ResumeToken)
-		sess.resumeToken = ""
-		delete(s.sessions, string(sess.client))
-		sess.client = from
-		s.sessions[string(from)] = sess
-		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
-			OK: true, SessionID: sess.id})
+		wasSuspended := sess.suspended
+		s.reattachSessionLocked(sess, from)
+		s.ensureSweepLocked()
+		if wasSuspended {
+			s.opts.Obs.Counter("server_sessions_resumed").Inc()
+			s.opts.Obs.Emit(obs.EvSessionResume, sess.user, int64(sess.connID),
+				"session "+sess.id+" resumed after liveness loss")
+		}
+		res := protocol.ConnectResult{OK: true, SessionID: sess.id, Resumed: true}
+		s.connectExtrasLocked(&res)
+		s.replyReq(from, reqID, protocol.MsgConnectResult, res)
 		return
 	}
 
 	// Authentication.
 	u, err := s.users.Authenticate(m.User, m.Password, now)
 	if err == auth.ErrUnknownUser {
-		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
 			OK: false, NeedSubscription: true, Reason: "please subscribe"})
 		return
 	}
 	if err != nil {
-		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
 			OK: false, Reason: err.Error()})
 		return
 	}
@@ -314,9 +558,10 @@ func (s *Server) onConnect(from netsim.Addr, m protocol.Connect) {
 	}
 	dec := s.adm.Request(qos.ConnRequest{
 		User: m.User, Class: u.Class, PeakRate: peak, MinRate: m.MinRate,
+		Resumed: m.Failover,
 	})
 	if dec.Verdict == qos.Rejected {
-		s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
 			OK: false, Reason: dec.Reason})
 		return
 	}
@@ -334,15 +579,18 @@ func (s *Server) onConnect(from netsim.Addr, m protocol.Connect) {
 	}
 	sess.qosMgr.SetObs(s.opts.Obs)
 	s.sessions[string(from)] = sess
+	s.byID[sess.id] = sess
 	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
 	s.opts.Obs.Emit(obs.EvSessionStart, m.User, int64(dec.ConnID), "session "+sess.id)
-	s.reply(from, protocol.MsgConnectResult, protocol.ConnectResult{
+	res := protocol.ConnectResult{
 		OK: true, SessionID: sess.id,
 		GrantedRate: dec.Rate, Degraded: dec.Verdict == qos.AdmittedDegraded,
-	})
+	}
+	s.connectExtrasLocked(&res)
+	s.replyReq(from, reqID, protocol.MsgConnectResult, res)
 }
 
-func (s *Server) onSubscribe(from netsim.Addr, m protocol.SubscriptionForm) {
+func (s *Server) onSubscribe(from netsim.Addr, reqID uint32, m protocol.SubscriptionForm) {
 	err := s.users.Subscribe(auth.User{
 		Name: m.User, Password: m.Password, RealName: m.RealName,
 		Address: m.Address, Email: m.Email, Phone: m.Phone, Class: m.Class,
@@ -351,14 +599,14 @@ func (s *Server) onSubscribe(from netsim.Addr, m protocol.SubscriptionForm) {
 	if err != nil {
 		res.Reason = err.Error()
 	}
-	s.reply(from, protocol.MsgSubscribeResult, res)
+	s.replyReq(from, reqID, protocol.MsgSubscribeResult, res)
 }
 
-func (s *Server) onSearch(from netsim.Addr, m protocol.Search) {
+func (s *Server) onSearch(from netsim.Addr, reqID uint32, m protocol.Search) {
 	local := s.db.Search(m.Token, s.Name)
 	if m.NoForward {
 		// Fan-out query from a peer server: answer directly.
-		s.reply(from, protocol.MsgSearchResult, protocol.SearchResult{
+		s.replyReq(from, reqID, protocol.MsgSearchResult, protocol.SearchResult{
 			SearchID: m.SearchID, Hits: local,
 		})
 		return
@@ -367,12 +615,12 @@ func (s *Server) onSearch(from netsim.Addr, m protocol.Search) {
 	peers := append([]string(nil), s.peers...)
 	if len(peers) == 0 {
 		s.mu.Unlock()
-		s.reply(from, protocol.MsgSearchResult, protocol.SearchResult{Hits: local})
+		s.replyReq(from, reqID, protocol.MsgSearchResult, protocol.SearchResult{Hits: local})
 		return
 	}
 	s.nextQuery++
 	qid := s.nextQuery
-	ps := &pendingSearch{client: from, hits: local, waiting: len(peers)}
+	ps := &pendingSearch{client: from, reqID: reqID, hits: local, waiting: len(peers)}
 	s.searches[qid] = ps
 	// Safety timeout: answer with whatever arrived.
 	ps.timer = s.clk.AfterFunc(2*time.Second, func() { s.finishSearch(qid) })
@@ -425,22 +673,22 @@ func (s *Server) finishSearch(qid int) {
 	})
 	client := ps.client
 	s.mu.Unlock()
-	s.reply(client, protocol.MsgSearchResult, protocol.SearchResult{Hits: hits})
+	s.replyReq(client, ps.reqID, protocol.MsgSearchResult, protocol.SearchResult{Hits: hits})
 }
 
-func (s *Server) onDocRequest(from netsim.Addr, m protocol.DocRequest) {
+func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequest) {
 	s.mu.Lock()
 	sess, ok := s.sessions[string(from)]
 	if !ok || sess.suspended {
 		s.mu.Unlock()
-		s.reply(from, protocol.MsgDocResponse, protocol.DocResponse{
+		s.replyReq(from, reqID, protocol.MsgDocResponse, protocol.DocResponse{
 			OK: false, Reason: "no active session"})
 		return
 	}
 	doc, ok := s.db.Get(m.Name)
 	if !ok {
 		s.mu.Unlock()
-		s.reply(from, protocol.MsgDocResponse, protocol.DocResponse{
+		s.replyReq(from, reqID, protocol.MsgDocResponse, protocol.DocResponse{
 			OK: false, Reason: "document not found: " + m.Name})
 		return
 	}
@@ -503,7 +751,7 @@ func (s *Server) onDocRequest(from netsim.Addr, m protocol.DocRequest) {
 	s.users.LogRetrieval(sess.user, m.Name, s.clk.Now())
 	s.mu.Unlock()
 
-	s.reply(from, protocol.MsgDocResponse, protocol.DocResponse{
+	s.replyReq(from, reqID, protocol.MsgDocResponse, protocol.DocResponse{
 		OK:          true,
 		Name:        doc.Name,
 		ScenarioSrc: doc.Source,
@@ -663,7 +911,7 @@ func (s *Server) onAnnotate(from netsim.Addr, m protocol.Annotate) {
 }
 
 // onListAnnotations returns the remarks stored for a document.
-func (s *Server) onListAnnotations(from netsim.Addr, m protocol.ListAnnotations) {
+func (s *Server) onListAnnotations(from netsim.Addr, reqID uint32, m protocol.ListAnnotations) {
 	s.mu.Lock()
 	doc := m.Doc
 	if doc == "" {
@@ -673,17 +921,13 @@ func (s *Server) onListAnnotations(from netsim.Addr, m protocol.ListAnnotations)
 	}
 	recs := append([]protocol.AnnotationRecord(nil), s.annotations[doc]...)
 	s.mu.Unlock()
-	s.reply(from, protocol.MsgAnnotations, protocol.Annotations{Doc: doc, Records: recs})
+	s.replyReq(from, reqID, protocol.MsgAnnotations, protocol.Annotations{Doc: doc, Records: recs})
 }
 
-func (s *Server) onSuspend(from netsim.Addr) {
-	s.mu.Lock()
-	sess, ok := s.sessions[string(from)]
-	if !ok {
-		s.mu.Unlock()
-		s.reply(from, protocol.MsgSuspendResult, protocol.SuspendResult{OK: false})
-		return
-	}
+// suspendSessionLocked pauses the session's media and parks it behind a
+// fresh resume token and grace timer. Caller holds s.mu. Used both for the
+// paper's voluntary suspend and for liveness auto-suspension.
+func (s *Server) suspendSessionLocked(sess *session) string {
 	for _, snd := range sess.senders {
 		snd.pause()
 	}
@@ -695,10 +939,25 @@ func (s *Server) onSuspend(from netsim.Addr) {
 	// "The suspended connection remains active for a period of time ...
 	// when this interval is passed the connection closes and the attached
 	// client is informed about the event."
+	if sess.graceTimer != nil {
+		sess.graceTimer.Stop()
+	}
 	sess.graceTimer = s.clk.AfterFunc(s.opts.Grace, func() { s.expireSuspended(tok) })
+	return tok
+}
+
+func (s *Server) onSuspend(from netsim.Addr, reqID uint32) {
+	s.mu.Lock()
+	sess, ok := s.sessions[string(from)]
+	if !ok {
+		s.mu.Unlock()
+		s.replyReq(from, reqID, protocol.MsgSuspendResult, protocol.SuspendResult{OK: false})
+		return
+	}
+	tok := s.suspendSessionLocked(sess)
 	grace := s.opts.Grace
 	s.mu.Unlock()
-	s.reply(from, protocol.MsgSuspendResult, protocol.SuspendResult{
+	s.replyReq(from, reqID, protocol.MsgSuspendResult, protocol.SuspendResult{
 		OK: true, ResumeToken: tok, GraceSecs: int(grace.Seconds()),
 	})
 }
@@ -712,6 +971,10 @@ func (s *Server) expireSuspended(token string) {
 	}
 	delete(s.byToken, token)
 	delete(s.sessions, string(sess.client))
+	delete(s.byID, sess.id)
+	s.dmu.Lock()
+	delete(s.dedup, string(sess.client))
+	s.dmu.Unlock()
 	s.stopSendersLocked(sess)
 	s.adm.Release(sess.connID)
 	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
@@ -731,6 +994,10 @@ func (s *Server) onDisconnect(from netsim.Addr) {
 		return
 	}
 	delete(s.sessions, string(from))
+	delete(s.byID, sess.id)
+	s.dmu.Lock()
+	delete(s.dedup, string(from))
+	s.dmu.Unlock()
 	if sess.resumeToken != "" {
 		delete(s.byToken, sess.resumeToken)
 	}

@@ -350,34 +350,36 @@ func decodeFrame(buf []byte) (netsim.Packet, bool) {
 	return netsim.Packet{From: from, To: to, Payload: payload, SentAt: time.Now()}, true
 }
 
-// Send implements netsim.Net.
-func (l *Live) Send(pkt netsim.Packet) {
+// Send implements netsim.Net. The error reports local refusal only — a
+// closed transport, an unparseable destination, a saturated host queue, or
+// a failed datagram write; an accepted frame may still be lost in flight.
+func (l *Live) Send(pkt netsim.Packet) error {
 	pkt.SentAt = time.Now()
 	if pkt.Reliable {
-		l.sendTCP(pkt)
-		return
+		return l.sendTCP(pkt)
 	}
-	l.sendUDP(pkt)
+	return l.sendUDP(pkt)
 }
 
-func (l *Live) sendUDP(pkt netsim.Packet) {
+func (l *Live) sendUDP(pkt netsim.Packet) error {
 	port, ok := portOf(pkt.To)
 	if !ok {
 		l.met.udpSendErrors.Inc()
-		return
+		return fmt.Errorf("transport: bad destination %q", pkt.To)
 	}
 	conn, err := l.udpSender()
 	if err != nil {
-		return
+		return err
 	}
 	raddr := &net.UDPAddr{IP: net.ParseIP(l.hostIP(pkt.To.Host())), Port: port}
 	buf := encodeFrame(pkt)
 	if _, err := conn.WriteToUDP(buf, raddr); err != nil {
 		l.met.udpSendErrors.Inc()
-		return
+		return fmt.Errorf("transport: udp send: %w", err)
 	}
 	l.met.udpDatagramsSent.Inc()
 	l.met.udpBytesSent.Add(int64(len(buf)))
+	return nil
 }
 
 // udpSender returns the shared outbound datagram socket, creating it on
@@ -404,7 +406,7 @@ func (l *Live) udpSender() (*net.UDPConn, error) {
 // queue is bounded: when it is full the frame is dropped whole and counted,
 // so a stalled peer back-pressures only its own host, never the caller and
 // never the other destinations.
-func (l *Live) sendTCP(pkt netsim.Packet) {
+func (l *Live) sendTCP(pkt netsim.Packet) error {
 	frame := encodeFrame(pkt)
 	buf := make([]byte, 4+len(frame))
 	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
@@ -414,7 +416,7 @@ func (l *Live) sendTCP(pkt netsim.Packet) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return
+		return errClosed
 	}
 	w := l.writers[host]
 	if w == nil {
@@ -428,8 +430,10 @@ func (l *Live) sendTCP(pkt netsim.Packet) {
 	select {
 	case w.queue <- buf:
 		l.met.queueHighWater.Observe(int64(len(w.queue)))
+		return nil
 	default:
 		l.met.queueDrops.Inc()
+		return fmt.Errorf("transport: queue full for host %s", host)
 	}
 }
 
