@@ -2,11 +2,12 @@
 # race detector over the concurrency-heavy packages (live transport, the
 # network simulator, telemetry, the playout scheduler, and both
 # control-plane endpoints). `make chaos` runs the fault-injection suite on
-# its own, with the pinned seed and the race detector.
+# its own, with the pinned seed and the race detector. `make bench-dataplane`
+# measures the server media data plane and writes BENCH_dataplane.json.
 
 GO ?= go
 
-.PHONY: check vet build test race chaos
+.PHONY: check vet build test race chaos bench-dataplane
 
 check: vet build test race
 
@@ -24,3 +25,6 @@ race:
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/...
+
+bench-dataplane:
+	$(GO) run ./cmd/experiments -dataplane BENCH_dataplane.json

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-quick] [-only F2,E3]
+//	experiments [-seed N] [-quick] [-only F2,E3] [-dataplane out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +22,28 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "shrink parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. F2,E3); empty = all")
+	dataplane := flag.String("dataplane", "", "run the data-plane load benchmark and write its JSON results to this path")
 	flag.Parse()
+
+	if *dataplane != "" {
+		tb, results, err := experiments.DataPlane(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dataplane FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dataplane FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*dataplane, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dataplane FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+		fmt.Printf("wrote %s\n", *dataplane)
+		return
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(strings.ToUpper(*only), ",") {

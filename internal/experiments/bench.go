@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// DataPlane runs the server data-plane load harness at each session count
+// and tabulates throughput, emit-latency tail and global-lock pressure. The
+// results back BENCH_dataplane.json: frames/s must grow (or hold) with
+// session count, and the paced phase must show zero srv.mu acquisitions.
+func DataPlane(sessions []int) (*stats.Table, []server.DataPlaneResult, error) {
+	if len(sessions) == 0 {
+		sessions = []int{1, 8, 64}
+	}
+	tb := stats.NewTable("BENCH — media data plane: parallel emit off the global lock",
+		"sessions", "senders", "paced lock acqs", "frames/s", "emit p50 µs", "emit p95 µs", "lock held µs")
+	var out []server.DataPlaneResult
+	for _, n := range sessions {
+		res, err := server.RunDataPlaneLoad(server.DataPlaneConfig{
+			Sessions:        n,
+			FramesPerSender: 200,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataplane sessions=%d: %w", n, err)
+		}
+		if res.PacedLockAcqs != 0 {
+			return nil, nil, fmt.Errorf("dataplane sessions=%d: %d srv.mu acquisitions during paced emission",
+				n, res.PacedLockAcqs)
+		}
+		tb.AddRow(res.Sessions, res.Senders, res.PacedLockAcqs,
+			fmt.Sprintf("%.0f", res.FramesPerSec),
+			fmt.Sprintf("%.1f", res.EmitP50Micros),
+			fmt.Sprintf("%.1f", res.EmitP95Micros),
+			res.LockHeldMicros)
+		out = append(out, res)
+	}
+	return tb, out, nil
+}

@@ -7,7 +7,7 @@ import (
 
 // FrameHeaderSize is the wire size of the in-payload frame header carried at
 // the start of every RTP fragment.
-const FrameHeaderSize = 12
+const FrameHeaderSize = 14
 
 // FrameHeader is the per-fragment metadata the media servers prepend inside
 // the RTP payload: which frame the fragment belongs to, the quality level it
@@ -21,8 +21,11 @@ type FrameHeader struct {
 	Kind FrameKind
 	// Frag and FragCount position this fragment within the frame.
 	Frag, FragCount uint16
-	// FrameSize is the full encoded frame size in bytes.
-	FrameSize uint16
+	// FrameSize is the full encoded frame size in bytes. 32 bits wide: a
+	// full-quality still already exceeds 64 KiB at 640×480 (0.5 B/px →
+	// 153600 bytes), so a uint16 here silently truncated the size the
+	// client reassembles against.
+	FrameSize uint32
 }
 
 // ErrShortHeader reports a payload too small for a frame header.
@@ -36,7 +39,7 @@ func (h *FrameHeader) Marshal(data []byte) []byte {
 	out[5] = uint8(h.Kind)
 	binary.BigEndian.PutUint16(out[6:], h.Frag)
 	binary.BigEndian.PutUint16(out[8:], h.FragCount)
-	binary.BigEndian.PutUint16(out[10:], h.FrameSize)
+	binary.BigEndian.PutUint32(out[10:], h.FrameSize)
 	copy(out[FrameHeaderSize:], data)
 	return out
 }
@@ -52,7 +55,7 @@ func ParseFrameHeader(buf []byte) (FrameHeader, []byte, error) {
 		Kind:      FrameKind(buf[5]),
 		Frag:      binary.BigEndian.Uint16(buf[6:]),
 		FragCount: binary.BigEndian.Uint16(buf[8:]),
-		FrameSize: binary.BigEndian.Uint16(buf[10:]),
+		FrameSize: binary.BigEndian.Uint32(buf[10:]),
 	}
 	return h, buf[FrameHeaderSize:], nil
 }

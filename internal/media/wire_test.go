@@ -33,7 +33,7 @@ func TestParseFrameHeaderShort(t *testing.T) {
 }
 
 func TestQuickFrameHeaderRoundTrip(t *testing.T) {
-	f := func(index uint32, level, kind uint8, frag, count, size uint16, data []byte) bool {
+	f := func(index uint32, level, kind uint8, frag, count uint16, size uint32, data []byte) bool {
 		h := FrameHeader{Index: index, Level: level, Kind: FrameKind(kind),
 			Frag: frag, FragCount: count, FrameSize: size}
 		got, rest, err := ParseFrameHeader(h.Marshal(data))
@@ -41,6 +41,27 @@ func TestQuickFrameHeaderRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: frame sizes past 64 KiB must survive the wire header intact.
+// A full-quality 640×480 still encodes to 153600 bytes, which a uint16
+// FrameSize silently truncated to 22528 — corrupting the size the client
+// reassembles against.
+func TestFrameHeaderLargeFrameSize(t *testing.T) {
+	im := NewImage("i", 640, 480)
+	size := im.Size(0)
+	if size <= 0xFFFF {
+		t.Fatalf("test premise broken: 640×480 still = %d bytes, want > 64 KiB", size)
+	}
+	h := FrameHeader{Index: 0, Kind: FrameStill, Frag: 0,
+		FragCount: uint16(len(Fragments(size))), FrameSize: uint32(size)}
+	got, _, err := ParseFrameHeader(h.Marshal([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameSize != uint32(size) || int(got.FrameSize) != size {
+		t.Fatalf("FrameSize = %d, want %d", got.FrameSize, size)
 	}
 }
 

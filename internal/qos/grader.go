@@ -145,8 +145,13 @@ type streamState struct {
 
 // Manager is the Server QoS Manager: it aggregates feedback reports and
 // issues grading actions through the media stream quality converters.
+//
+// The mutex is a RWMutex because Level sits on the per-frame emit path of
+// every media sender: frame pacing takes only a read lock here, so senders
+// within a session never serialize on quality lookups, and only feedback
+// processing (rare, per RTCP interval) writes.
 type Manager struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	clk     clock.Clock
 	policy  Policy
 	epoch   time.Time
@@ -205,9 +210,10 @@ func (m *Manager) Register(cfg StreamConfig) {
 }
 
 // Level returns a stream's current quality level and whether it is stopped.
+// Read-locked: safe to call concurrently from every sender's emit path.
 func (m *Manager) Level(id string) (level int, stopped bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	st := m.streams[id]
 	if st == nil {
 		return 0, false

@@ -7,7 +7,10 @@ import (
 
 // RateFunc maps a stream to its nominal transmission rate in bits per
 // second. The flow scheduler is parameterized on it so the media package can
-// supply codec-accurate rates without a dependency cycle.
+// supply codec-accurate rates without a dependency cycle. For stills (image,
+// text) the returned value is the total encoded size in bits — the nominal
+// "deliver within one second" rate — which BuildFlow spreads over the
+// still's actual transmission lead.
 type RateFunc func(*Stream) float64
 
 // FlowSpec is one stream's entry in the flow scenario: the sending start
@@ -19,11 +22,13 @@ type FlowSpec struct {
 	// to session start: the playout start minus the pre-roll lead that
 	// fills the client's media time window.
 	SendAt time.Duration
-	// Rate is the nominal transmission rate in bits per second.
+	// Rate is the nominal transmission rate in bits per second. For
+	// stills it is the encoded size spread over the transmission lead, so
+	// admission and peak-bandwidth sums price the still at what the wire
+	// actually carries during [SendAt, Start).
 	Rate float64
 	// Bytes is the total payload volume for the stream (Rate × Duration
-	// for streams; one-shot size for stills is conveyed by Rate over the
-	// lead time).
+	// for streams; the one-shot encoded size for stills).
 	Bytes int64
 	// PreRoll is the lead applied (how far ahead of the playout deadline
 	// transmission starts).
@@ -88,7 +93,18 @@ func BuildFlow(sc *Scenario, opts FlowOptions) []*FlowSpec {
 		if s.Type.TimeSensitive() {
 			bytes = int64(rate * s.Duration.Seconds() / 8)
 		} else {
-			bytes = int64(rate / 8)
+			// For stills the RateFunc value is the total encoded size in
+			// bits. The wire delivers that size once, spread over the
+			// actual transmission lead, so the priced rate is size/lead —
+			// not the raw "per second" figure, which overstated flows with
+			// longer leads and understated clamped ones.
+			totalBits := rate
+			bytes = int64(totalBits / 8)
+			effLead := s.Start - sendAt
+			if effLead <= 0 {
+				effLead = opts.StillLead
+			}
+			rate = totalBits / effLead.Seconds()
 		}
 		out = append(out, &FlowSpec{
 			Stream:  s,
@@ -113,8 +129,12 @@ func BuildFlow(sc *Scenario, opts FlowOptions) []*FlowSpec {
 // [SendAt, End).
 func PeakBandwidth(flows []*FlowSpec) float64 {
 	var marks []time.Duration
+	seen := make(map[time.Duration]bool, len(flows))
 	for _, f := range flows {
-		marks = append(marks, f.SendAt)
+		if !seen[f.SendAt] {
+			seen[f.SendAt] = true
+			marks = append(marks, f.SendAt)
+		}
 	}
 	peak := 0.0
 	for _, m := range marks {

@@ -227,6 +227,49 @@ func TestBuildFlowDefaults(t *testing.T) {
 	}
 }
 
+// Still flows must price what the wire carries: the RateFunc value for a
+// still is its total encoded size in bits, so the flow rate is that size
+// spread over the transmission lead and Bytes is the actual one-shot size —
+// not size/8 "per second" figures that ignored the lead entirely.
+func TestBuildFlowStillAccounting(t *testing.T) {
+	sc := fig2(t)
+	flows := BuildFlow(sc, FlowOptions{PreRoll: 2 * time.Second, StillLead: 4 * time.Second})
+	for _, f := range flows {
+		if f.Stream.Type.TimeSensitive() {
+			continue
+		}
+		totalBits := DefaultRates(f.Stream)
+		if f.Bytes != int64(totalBits/8) {
+			t.Fatalf("%s bytes = %d, want %d", f.Stream.ID, f.Bytes, int64(totalBits/8))
+		}
+		lead := f.Stream.Start - f.SendAt
+		if lead <= 0 {
+			lead = 4 * time.Second
+		}
+		want := totalBits / lead.Seconds()
+		if diff := f.Rate - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%s rate = %v, want %v (size %v bits over %v lead)",
+				f.Stream.ID, f.Rate, want, totalBits, lead)
+		}
+	}
+}
+
+// PeakBandwidth must not double-count boundaries where several flows start at
+// the same instant: duplicate marks are harmless for the max but wasteful,
+// and deduping keeps the evaluation O(unique boundaries).
+func TestPeakBandwidthDedupedMarks(t *testing.T) {
+	mk := func(id string, rate float64) *FlowSpec {
+		return &FlowSpec{
+			Stream: &Stream{ID: id, Type: TypeAudio, Start: time.Second, Duration: 10 * time.Second},
+			SendAt: 0, Rate: rate,
+		}
+	}
+	flows := []*FlowSpec{mk("a", 100), mk("b", 200), mk("c", 300)}
+	if got := PeakBandwidth(flows); got != 600 {
+		t.Fatalf("peak = %v, want 600", got)
+	}
+}
+
 func TestPeakBandwidth(t *testing.T) {
 	sc := fig2(t)
 	flows := BuildFlow(sc, FlowOptions{PreRoll: 2 * time.Second})

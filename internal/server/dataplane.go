@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/hml"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/qos"
+)
+
+// This file is the data-plane load harness: it stands up one server with N
+// sessions playing a multi-stream document and measures the media emit path
+// in two phases. The paced phase drives the virtual clock so every sender
+// fires on its flow-scenario timer, and samples the server-wide lock meter
+// across the window to prove per-frame emission never touches srv.mu. The
+// pump phase drives each sender back-to-back from its own goroutine against
+// a counting sink transport, measuring genuine parallel throughput and the
+// per-frame emit service time whose tail is the pacing-jitter bound: a frame
+// cannot leave more than one service time late because of lock contention.
+
+// DataPlaneConfig sizes one load run.
+type DataPlaneConfig struct {
+	// Sessions is the number of concurrent client sessions.
+	Sessions int
+	// FramesPerSender bounds the pump phase's frames per time-sensitive
+	// sender.
+	FramesPerSender int
+	// PacedWindow is how much virtual time the paced phase advances. Keep
+	// it under the 5 s RTCP sender-report period so the window contains
+	// nothing but media pacing.
+	PacedWindow time.Duration
+}
+
+func (c *DataPlaneConfig) fill() {
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
+	if c.FramesPerSender <= 0 {
+		c.FramesPerSender = 200
+	}
+	if c.PacedWindow <= 0 || c.PacedWindow >= 5*time.Second {
+		c.PacedWindow = 4 * time.Second
+	}
+}
+
+// DataPlaneResult is one load run's measurement, JSON-shaped for
+// BENCH_dataplane.json.
+type DataPlaneResult struct {
+	Sessions int `json:"sessions"`
+	Senders  int `json:"senders"`
+
+	// Paced phase: virtual-clock pacing over PacedWindow.
+	PacedFrames   int64 `json:"paced_frames"`
+	PacedLockAcqs int64 `json:"paced_lock_acqs"` // srv.mu acquisitions during pacing; must be 0
+
+	// Pump phase: parallel full-rate emission, one goroutine per sender.
+	PumpFrames    int64   `json:"pump_frames"`
+	PumpPackets   int64   `json:"pump_packets"`
+	PumpBytes     int64   `json:"pump_bytes"`
+	ElapsedMicros int64   `json:"elapsed_us"`
+	FramesPerSec  float64 `json:"frames_per_sec"`
+
+	// Emit service time distribution (µs). The p95 is the send-jitter
+	// bound: no frame can start later than one service time behind its
+	// timer because of another stream's lock.
+	EmitP50Micros float64 `json:"emit_p50_us"`
+	EmitP95Micros float64 `json:"emit_p95_us"`
+	EmitMaxMicros float64 `json:"emit_max_us"`
+
+	// Whole-run control-plane lock pressure.
+	LockAcqsTotal  int64 `json:"lock_acqs_total"`
+	LockHeldMicros int64 `json:"lock_held_us"`
+}
+
+// sinkNet is the harness transport: a netsim.Net whose Send costs two atomic
+// adds. Packets addressed to a registered listener (the server's control
+// port) are delivered synchronously; everything else — the media flood — is
+// only counted, so the measurement isolates the server's emit path from any
+// simulated network behavior.
+type sinkNet struct {
+	mu       sync.RWMutex
+	handlers map[netsim.Addr]netsim.Handler
+	packets  atomic.Int64
+	bytes    atomic.Int64
+}
+
+func newSinkNet() *sinkNet {
+	return &sinkNet{handlers: map[netsim.Addr]netsim.Handler{}}
+}
+
+func (n *sinkNet) Listen(a netsim.Addr, h netsim.Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h == nil {
+		delete(n.handlers, a)
+	} else {
+		n.handlers[a] = h
+	}
+	return nil
+}
+
+func (n *sinkNet) Send(p netsim.Packet) error {
+	n.packets.Add(1)
+	n.bytes.Add(int64(len(p.Payload)))
+	n.mu.RLock()
+	h := n.handlers[p.To]
+	n.mu.RUnlock()
+	if h != nil {
+		h(p)
+	}
+	return nil
+}
+
+// RunDataPlaneLoad stands up a server with cfg.Sessions sessions playing a
+// two-slide lesson (per slide: one still image plus a synchronized audio and
+// video pair, so every session carries multiple concurrent streams) and
+// measures the data plane as described above.
+func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
+	cfg.fill()
+	var res DataPlaneResult
+	res.Sessions = cfg.Sessions
+
+	clk := clock.NewSim()
+	net := newSinkNet()
+	users := auth.NewDB()
+	if err := users.Subscribe(auth.User{
+		Name: "bench", Password: "pw", Email: "bench@load", Class: qos.Standard,
+	}, clk.Now()); err != nil {
+		return res, err
+	}
+	db := NewDatabase()
+	if err := db.Put("lesson", hml.LessonSource("bench", 2, time.Minute), "load doc"); err != nil {
+		return res, err
+	}
+	srv, err := New("srv", clk, net, users, db, Options{
+		Capacity: 1e12, // admission must not cap the fleet
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stand up the sessions through the real control plane.
+	for i := 0; i < cfg.Sessions; i++ {
+		client := netsim.MakeAddr(fmt.Sprintf("load%d", i), 6000)
+		net.Send(netsim.Packet{
+			From: client, To: netsim.MakeAddr("srv", ControlPort),
+			Payload:  protocol.MustEncode(protocol.MsgConnect, protocol.Connect{User: "bench", Password: "pw"}),
+			Reliable: true,
+		})
+		net.Send(netsim.Packet{
+			From: client, To: netsim.MakeAddr("srv", ControlPort),
+			Payload:  protocol.MustEncode(protocol.MsgDocRequest, protocol.DocRequest{Name: "lesson"}),
+			Reliable: true,
+		})
+	}
+	if got := srv.Sessions(); got != cfg.Sessions {
+		return res, fmt.Errorf("dataplane: %d sessions stood up, want %d", got, cfg.Sessions)
+	}
+
+	// Collect the senders. Time-sensitive ones are the sustained load; the
+	// stills finish after their single frame.
+	var all []*sender
+	srv.mu.Lock()
+	for _, sess := range srv.sessions {
+		for _, snd := range sess.senders {
+			all = append(all, snd)
+		}
+	}
+	srv.mu.Unlock()
+	res.Senders = len(all)
+
+	sumStats := func() (frames, packets int64, bytes int64) {
+		for _, snd := range all {
+			st := snd.stats()
+			frames += int64(st.frames)
+			packets += int64(st.packets)
+			bytes += st.bytes
+		}
+		return
+	}
+
+	// Paced phase: advance the virtual clock and let the flow-scenario
+	// timers emit. Everything that fires in this window is a sender timer,
+	// so the lock-meter delta is exactly the emit path's srv.mu footprint.
+	preFrames, _, _ := sumStats()
+	preAcqs, _ := srv.LockStats()
+	clk.Advance(cfg.PacedWindow)
+	postAcqs, _ := srv.LockStats()
+	pacedFrames, _, _ := sumStats()
+	res.PacedFrames = pacedFrames - preFrames
+	res.PacedLockAcqs = postAcqs - preAcqs
+
+	// Pump phase: every sender emits back-to-back from its own goroutine.
+	pumpStartFrames, pumpStartPackets, pumpStartBytes := sumStats()
+	times := make([][]time.Duration, len(all))
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i, snd := range all {
+		wg.Add(1)
+		go func(i int, snd *sender) {
+			defer wg.Done()
+			times[i] = snd.pump(cfg.FramesPerSender)
+		}(i, snd)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	pumpFrames, pumpPackets, pumpBytes := sumStats()
+	res.PumpFrames = pumpFrames - pumpStartFrames
+	res.PumpPackets = pumpPackets - pumpStartPackets
+	res.PumpBytes = pumpBytes - pumpStartBytes
+	res.ElapsedMicros = elapsed.Microseconds()
+	if elapsed > 0 {
+		res.FramesPerSec = float64(res.PumpFrames) / elapsed.Seconds()
+	}
+
+	var flat []time.Duration
+	for _, ts := range times {
+		flat = append(flat, ts...)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i] < flat[j] })
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	if n := len(flat); n > 0 {
+		res.EmitP50Micros = us(flat[n/2])
+		res.EmitP95Micros = us(flat[n*95/100])
+		res.EmitMaxMicros = us(flat[n-1])
+	}
+
+	acqs, held := srv.LockStats()
+	res.LockAcqsTotal = acqs
+	res.LockHeldMicros = held.Microseconds()
+	return res, nil
+}

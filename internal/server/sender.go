@@ -1,11 +1,13 @@
 package server
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/media"
 	"repro/internal/netsim"
+	"repro/internal/qos"
 	"repro/internal/rtp"
 	"repro/internal/scenario"
 )
@@ -16,15 +18,29 @@ import (
 // quality converter in action), fragments it to MTU-sized RTP packets and
 // ships them over the appropriate transport (RTP/UDP for time-sensitive
 // streams, the reliable path for stills).
+//
+// Concurrency: the sender is the isolated hot loop of the data plane. All of
+// its mutable state sits behind its own small mutex, and the per-frame emit
+// path — QoS level snapshot, frame encode, fragmentation, transport send —
+// runs entirely under that lock, never under the server-wide srv.mu. Control
+// operations (pause/resume/restart/disable/stop) take the same per-sender
+// lock, so one session's media pacing neither serializes with other
+// sessions' streams nor with the control plane. Lock order is srv.mu →
+// sn.mu: control handlers may call sender methods while holding srv.mu, but
+// no sender method ever acquires srv.mu.
 type sender struct {
+	// Immutable after construction.
 	srv    *Server
-	sess   *session
+	qos    *qos.Manager
 	stream *scenario.Stream
 	src    media.Source
-	rtpS   *rtp.Sender
 	flow   *scenario.FlowSpec
 	to     netsim.Addr
 
+	// mu guards everything below. It is the only lock the per-frame emit
+	// path takes.
+	mu       sync.Mutex
+	rtpS     *rtp.Sender
 	origin   time.Time // flow time zero
 	nextIdx  int
 	timer    *clock.Timer
@@ -33,17 +49,18 @@ type sender struct {
 	disabled bool
 	finished bool
 
-	// counters
+	// counters (reset on restart so per-document stats and RTCP sender
+	// reports describe the current playback, not cumulative history)
 	framesSent  int
 	packetsSent int
 	bytesSent   int64
 	skipped     int // frames withheld while the stream was cut off
 }
 
-func newSender(srv *Server, sess *session, flow *scenario.FlowSpec, src media.Source, ssrc uint32, to netsim.Addr, origin time.Time) *sender {
+func newSender(srv *Server, mgr *qos.Manager, flow *scenario.FlowSpec, src media.Source, ssrc uint32, to netsim.Addr, origin time.Time) *sender {
 	return &sender{
 		srv:    srv,
-		sess:   sess,
+		qos:    mgr,
 		stream: flow.Stream,
 		src:    src,
 		rtpS:   rtp.NewSender(ssrc, src.PayloadType(0), 0),
@@ -56,15 +73,17 @@ func newSender(srv *Server, sess *session, flow *scenario.FlowSpec, src media.So
 // reliable reports whether this stream uses the lossless in-order path.
 func (sn *sender) reliable() bool { return !sn.stream.Type.TimeSensitive() }
 
-// sendAtFor returns the wall send instant of frame i.
+// sendAtFor returns the wall send instant of frame i. Caller holds sn.mu.
 func (sn *sender) sendAtFor(i int) time.Time {
 	pts := time.Duration(i) * sn.src.FrameInterval()
 	return sn.origin.Add(sn.flow.SendAt + pts)
 }
 
-// start arms the first frame. Caller holds srv.mu.
+// start arms the first frame.
 func (sn *sender) start() {
+	sn.mu.Lock()
 	sn.armLocked()
+	sn.mu.Unlock()
 }
 
 func (sn *sender) armLocked() {
@@ -78,36 +97,44 @@ func (sn *sender) armLocked() {
 	sn.timer = sn.srv.clk.AfterFunc(d, sn.emit)
 }
 
-// emit transmits one frame and schedules the next.
+// emit transmits one frame and schedules the next. It runs on the pacing
+// timer and holds only the sender's own lock.
 func (sn *sender) emit() {
-	sn.srv.mu.Lock()
+	sn.mu.Lock()
+	if sn.emitFrameLocked() {
+		sn.armLocked()
+	}
+	sn.mu.Unlock()
+}
+
+// emitFrameLocked encodes and transmits the frame at the pacing cursor (or
+// accounts a withheld one) and advances the cursor. It reports whether
+// pacing should continue. Caller holds sn.mu; the method touches no
+// server-wide state: the QoS level comes through the manager's own
+// fine-grained lock and the packets go straight to the transport.
+func (sn *sender) emitFrameLocked() bool {
 	if sn.finished || sn.paused || sn.disabled {
-		sn.srv.mu.Unlock()
-		return
+		return false
 	}
 	i := sn.nextIdx
 	pts := time.Duration(i) * sn.src.FrameInterval()
 	// End of stream?
 	if sn.stream.Duration > 0 && pts >= sn.stream.Duration {
 		sn.finished = true
-		sn.srv.mu.Unlock()
-		return
+		return false
 	}
 	if !sn.stream.Type.TimeSensitive() && i > 0 {
 		// Stills are one-shot.
 		sn.finished = true
-		sn.srv.mu.Unlock()
-		return
+		return false
 	}
-	level, stopped := sn.sess.qosMgr.Level(sn.stream.ID)
+	level, stopped := sn.qos.Level(sn.stream.ID)
 	sn.nextIdx++
 	if stopped {
 		// Cut off by the long-term mechanism: withhold the frame but
 		// keep pacing so a restore resumes cleanly.
 		sn.skipped++
-		sn.armLocked()
-		sn.srv.mu.Unlock()
-		return
+		return true
 	}
 	frame := sn.src.FrameAt(i, level)
 	sn.rtpS.PayloadType = sn.src.PayloadType(level)
@@ -121,7 +148,7 @@ func (sn *sender) emit() {
 			Kind:      frame.Kind,
 			Frag:      uint16(fi),
 			FragCount: uint16(len(frags)),
-			FrameSize: uint16(frame.Size),
+			FrameSize: uint32(frame.Size),
 		}
 		data := hdr.Marshal(payload[off : off+fsize])
 		off += fsize
@@ -136,26 +163,54 @@ func (sn *sender) emit() {
 		})
 	}
 	sn.framesSent++
-	sn.armLocked()
-	sn.srv.mu.Unlock()
+	sn.srv.mFrames.Inc()
+	sn.srv.mPackets.Add(int64(len(frags)))
+	sn.srv.mBytes.Add(int64(frame.Size))
+	return true
 }
 
-// pause stops pacing. Caller holds srv.mu.
+// pump emits up to n frames back-to-back, bypassing the pacing timer: the
+// data-plane load harness's way of driving a sender at full rate from its
+// own goroutine. It returns per-frame emit service times.
+func (sn *sender) pump(n int) []time.Duration {
+	times := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		sn.mu.Lock()
+		more := sn.emitFrameLocked()
+		sn.mu.Unlock()
+		times = append(times, time.Since(t0))
+		if !more {
+			break
+		}
+	}
+	return times
+}
+
+// pause stops pacing.
 func (sn *sender) pause() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
 	if sn.paused || sn.finished {
 		return
 	}
 	sn.paused = true
 	sn.pausedAt = sn.srv.clk.Now()
-	if sn.timer != nil {
-		sn.timer.Stop()
-		sn.timer = nil
-	}
+	sn.stopTimerLocked()
+}
+
+// isPaused reports whether pacing is currently paused.
+func (sn *sender) isPaused() bool {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.paused
 }
 
 // resume continues pacing, shifting the flow origin by the pause length so
-// inter-frame spacing is preserved. Caller holds srv.mu.
+// inter-frame spacing is preserved.
 func (sn *sender) resume() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
 	if !sn.paused || sn.finished {
 		return
 	}
@@ -164,35 +219,84 @@ func (sn *sender) resume() {
 	sn.armLocked()
 }
 
-// restart replays the stream from the beginning (reload). Caller holds
-// srv.mu.
+// restart replays the stream from the beginning (reload). Counters — both
+// the sender's own and the RTP-layer totals carried in RTCP sender reports —
+// reset so per-document stats describe the new playback only.
 func (sn *sender) restart(origin time.Time) {
-	if sn.timer != nil {
-		sn.timer.Stop()
-		sn.timer = nil
-	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.stopTimerLocked()
 	sn.origin = origin
 	sn.nextIdx = 0
 	sn.finished = false
 	sn.paused = false
+	sn.framesSent, sn.packetsSent, sn.bytesSent, sn.skipped = 0, 0, 0, 0
+	sn.rtpS = rtp.NewSender(sn.rtpS.SSRC, sn.src.PayloadType(0), 0)
 	sn.armLocked()
 }
 
-// disable stops the stream permanently (user disabled this media). Caller
-// holds srv.mu.
+// disable stops the stream permanently (user disabled this media).
 func (sn *sender) disable() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
 	sn.disabled = true
+	sn.stopTimerLocked()
+}
+
+// stop tears the sender down.
+func (sn *sender) stop() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.finished = true
+	sn.stopTimerLocked()
+}
+
+func (sn *sender) stopTimerLocked() {
 	if sn.timer != nil {
 		sn.timer.Stop()
 		sn.timer = nil
 	}
 }
 
-// stop tears the sender down. Caller holds srv.mu.
-func (sn *sender) stop() {
-	sn.finished = true
-	if sn.timer != nil {
-		sn.timer.Stop()
-		sn.timer = nil
+// report builds the sender's RTCP SR, or nil when the sender is inactive.
+func (sn *sender) report(now time.Time, mediaTime time.Duration) *rtp.SenderReport {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.finished || sn.disabled || sn.rtpS.PacketCount() == 0 {
+		return nil
+	}
+	return sn.rtpS.Report(now, mediaTime)
+}
+
+// nominalRate returns the stream's current reservation-relevant rate: zero
+// when the stream is cut off, finished or disabled, its per-level codec rate
+// otherwise.
+func (sn *sender) nominalRate() float64 {
+	level, stopped := sn.qos.Level(sn.stream.ID)
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if stopped || sn.finished || sn.disabled {
+		return 0
+	}
+	return sn.src.Bitrate(level)
+}
+
+// senderStats is a snapshot of one sender's transmission counters.
+type senderStats struct {
+	frames  int
+	packets int
+	bytes   int64
+	skipped int
+}
+
+// stats snapshots the counters race-cleanly.
+func (sn *sender) stats() senderStats {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return senderStats{
+		frames:  sn.framesSent,
+		packets: sn.packetsSent,
+		bytes:   sn.bytesSent,
+		skipped: sn.skipped,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/rtp"
 	"repro/internal/scenario"
+	"repro/internal/stats"
 )
 
 // ControlPort is the well-known control port of every multimedia server.
@@ -71,9 +73,40 @@ func (o *Options) fill() {
 	}
 }
 
+// lockMeter is the server's control-plane mutex, instrumented so the
+// data-plane benchmark can prove the per-frame emit path never touches it:
+// it counts acquisitions and accumulates wall-clock hold time. The two
+// time.Now calls per acquisition cost tens of nanoseconds on control-plane
+// operations that each do map work and I/O — negligible — and buy a direct
+// measurement of global-lock pressure.
+type lockMeter struct {
+	mu       sync.Mutex
+	acqs     atomic.Int64
+	heldNS   atomic.Int64
+	lockedAt time.Time // guarded by mu: written after Lock, read before Unlock
+}
+
+// Lock acquires the control-plane lock.
+func (m *lockMeter) Lock() {
+	m.mu.Lock()
+	m.acqs.Add(1)
+	m.lockedAt = time.Now()
+}
+
+// Unlock releases the control-plane lock, accounting the hold.
+func (m *lockMeter) Unlock() {
+	m.heldNS.Add(int64(time.Since(m.lockedAt)))
+	m.mu.Unlock()
+}
+
+// Stats returns the acquisition count and cumulative hold time.
+func (m *lockMeter) Stats() (acqs int64, held time.Duration) {
+	return m.acqs.Load(), time.Duration(m.heldNS.Load())
+}
+
 // Server is one multimedia server node.
 type Server struct {
-	mu sync.Mutex
+	mu lockMeter
 
 	// Name is the server's host name on the network.
 	Name string
@@ -98,9 +131,13 @@ type Server struct {
 	// dedup caches, per client control address, the replies to recently
 	// handled request IDs so retransmitted requests are answered
 	// idempotently instead of re-running their side effects. It has its
-	// own lock so replies can be cached while handlers hold mu.
-	dmu   sync.Mutex
-	dedup map[string]*dedupRing
+	// own lock so replies can be cached while handlers hold mu (lock
+	// order mu → dmu; never the reverse). Rings for clients that never
+	// obtained a session (auth/admission rejects) are reaped by a TTL
+	// sweep so a reject storm cannot grow the map without bound.
+	dmu          sync.Mutex
+	dedup        map[string]*dedupRing
+	dedupSweepOn bool
 	// sweepOn tracks whether the liveness sweep timer is armed; it arms
 	// lazily on the first heartbeat and disarms when no heartbeat-capable
 	// session remains, so sessions driven by raw packets (tests, old
@@ -110,6 +147,13 @@ type Server struct {
 	// annotations holds user remarks per document name ("the user may
 	// also annotate the selected document with his own remarks").
 	annotations map[string][]protocol.AnnotationRecord
+
+	// Data-plane counters, resolved once at construction so the per-frame
+	// emit path increments atomics directly instead of doing a registry
+	// lookup per frame (shared no-ops when telemetry is off).
+	mFrames  *stats.Counter
+	mPackets *stats.Counter
+	mBytes   *stats.Counter
 }
 
 // session is one client's server-side state.
@@ -165,11 +209,20 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 		nextSSRC:    1000,
 	}
 	s.adm.SetObs(opts.Obs)
+	s.mFrames = opts.Obs.Counter("server_media_frames_sent")
+	s.mPackets = opts.Obs.Counter("server_media_packets_sent")
+	s.mBytes = opts.Obs.Counter("server_media_bytes_sent")
 	if err := net.Listen(s.ctrlAddr(), s.handle); err != nil {
 		return nil, fmt.Errorf("server %s: %w", name, err)
 	}
 	return s, nil
 }
+
+// LockStats reports how many times the server-wide control-plane lock has
+// been taken and its cumulative wall-clock hold time. The data-plane
+// benchmark samples it around the emit phase to prove media pacing runs
+// entirely off this lock.
+func (s *Server) LockStats() (acqs int64, held time.Duration) { return s.mu.Stats() }
 
 func (s *Server) ctrlAddr() netsim.Addr { return netsim.MakeAddr(s.Name, ControlPort) }
 
@@ -208,12 +261,20 @@ func (s *Server) QoSManager(client netsim.Addr) *qos.Manager {
 // dedupCap bounds the per-client reply cache.
 const dedupCap = 64
 
+// dedupTTL is how long a reply cache for a client without a session is kept
+// after its last use. Clients whose connect was rejected (bad credentials,
+// admission refusal) get a ring but never a session, so only this sweep
+// frees them; rings of live or suspended sessions are exempt and are
+// deleted with the session instead.
+const dedupTTL = 2 * time.Minute
+
 // dedupRing is a bounded per-client cache of request IDs and their encoded
 // replies. A nil frame marks a request still being handled (in flight):
 // its duplicates are dropped silently rather than re-executed.
 type dedupRing struct {
-	entries map[uint32][]byte
-	order   []uint32
+	entries  map[uint32][]byte
+	order    []uint32
+	lastUsed time.Time
 }
 
 // get returns the cached reply frame and whether the request ID was seen.
@@ -234,14 +295,46 @@ func (r *dedupRing) put(reqID uint32, frame []byte) {
 	r.entries[reqID] = frame
 }
 
-// dedupRingLocked returns the client's reply cache; caller holds dmu.
+// dedupRingLocked returns the client's reply cache, refreshing its TTL and
+// lazily arming the sessionless-ring sweep; caller holds dmu.
 func (s *Server) dedupRingLocked(client string) *dedupRing {
 	ring, ok := s.dedup[client]
 	if !ok {
 		ring = &dedupRing{entries: map[uint32][]byte{}}
 		s.dedup[client] = ring
+		if !s.dedupSweepOn {
+			s.dedupSweepOn = true
+			s.clk.AfterFunc(dedupTTL, s.sweepDedup)
+		}
 	}
+	ring.lastUsed = s.clk.Now()
 	return ring
+}
+
+// sweepDedup evicts reply caches of clients that hold no session and have
+// been idle past the TTL. It snapshots the session-keyed addresses under mu
+// first and prunes under dmu second, matching the mu → dmu lock order of the
+// handler path.
+func (s *Server) sweepDedup() {
+	s.mu.Lock()
+	live := make(map[string]bool, len(s.sessions))
+	for addr := range s.sessions {
+		live[addr] = true
+	}
+	s.mu.Unlock()
+	now := s.clk.Now()
+	s.dmu.Lock()
+	for addr, ring := range s.dedup {
+		if !live[addr] && now.Sub(ring.lastUsed) >= dedupTTL {
+			delete(s.dedup, addr)
+		}
+	}
+	if len(s.dedup) > 0 {
+		s.clk.AfterFunc(dedupTTL, s.sweepDedup)
+	} else {
+		s.dedupSweepOn = false
+	}
+	s.dmu.Unlock()
 }
 
 // reply sends a fire-and-forget control message (request ID 0).
@@ -728,7 +821,7 @@ func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequ
 		s.nextSSRC++
 		ssrc := s.nextSSRC
 		port := base + i
-		snd := newSender(s, sess, f, src, ssrc, netsim.MakeAddr(clientHost, port), origin)
+		snd := newSender(s, sess.qosMgr, f, src, ssrc, netsim.MakeAddr(clientHost, port), origin)
 		sess.senders[f.Stream.ID] = snd
 		sess.ssrcToID[ssrc] = f.Stream.ID
 		sess.qosMgr.Register(qos.StreamConfig{
@@ -771,7 +864,9 @@ func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequ
 }
 
 // sendSenderReports emits one RTCP SR per active media sender so receivers
-// can map RTP timestamps to the sender's wall clock (RFC 1889 §6.3).
+// can map RTP timestamps to the sender's wall clock (RFC 1889 §6.3). The
+// server lock covers only the session snapshot; report construction walks
+// each sender under that sender's own lock and the sends happen lock-free.
 func (s *Server) sendSenderReports(sess *session) {
 	s.mu.Lock()
 	if sess.suspended {
@@ -783,27 +878,19 @@ func (s *Server) sendSenderReports(sess *session) {
 	if mediaTime < 0 {
 		mediaTime = 0
 	}
-	type out struct {
-		to      netsim.Addr
-		payload []byte
-	}
-	var outs []out
-	active := false
+	snds := make([]*sender, 0, len(sess.senders))
 	for _, snd := range sess.senders {
-		if snd.finished || snd.disabled || snd.rtpS.PacketCount() == 0 {
-			continue
-		}
-		active = true
-		sr := snd.rtpS.Report(now, mediaTime)
-		outs = append(outs, out{to: snd.to, payload: sr.Marshal()})
+		snds = append(snds, snd)
 	}
-	if active || len(sess.senders) > 0 {
+	if len(snds) > 0 {
 		sess.srTimer = s.clk.AfterFunc(5*time.Second, func() { s.sendSenderReports(sess) })
 	}
-	from := netsim.MakeAddr(s.Name, mediaPort)
 	s.mu.Unlock()
-	for _, o := range outs {
-		s.net.Send(netsim.Packet{From: from, To: o.to, Payload: o.payload})
+	from := netsim.MakeAddr(s.Name, mediaPort)
+	for _, snd := range snds {
+		if sr := snd.report(now, mediaTime); sr != nil {
+			s.net.Send(netsim.Packet{From: from, To: snd.to, Payload: sr.Marshal()})
+		}
 	}
 }
 
@@ -818,8 +905,20 @@ func minInt(a, b int) int {
 }
 
 func (s *Server) onFeedback(from netsim.Addr, m protocol.Feedback) {
+	// One short critical section snapshots the session's SSRC map and QoS
+	// manager; report decoding and grading then run off the server lock
+	// (the manager has its own fine-grained lock).
 	s.mu.Lock()
 	sess, ok := s.sessions[string(from)]
+	var mgr *qos.Manager
+	var ssrcToID map[uint32]string
+	if ok {
+		mgr = sess.qosMgr
+		ssrcToID = make(map[uint32]string, len(sess.ssrcToID))
+		for ssrc, id := range sess.ssrcToID {
+			ssrcToID[ssrc] = id
+		}
+	}
 	s.mu.Unlock()
 	if !ok || s.opts.DisableGrading {
 		return
@@ -834,13 +933,11 @@ func (s *Server) onFeedback(from netsim.Addr, m protocol.Feedback) {
 			continue
 		}
 		for _, block := range cp.RR.Reports {
-			s.mu.Lock()
-			id, ok := sess.ssrcToID[block.SSRC]
-			s.mu.Unlock()
+			id, ok := ssrcToID[block.SSRC]
 			if !ok {
 				continue
 			}
-			if acts := sess.qosMgr.Feedback(qos.FromRTCP(id, block, s.clk.Now())); len(acts) > 0 {
+			if acts := mgr.Feedback(qos.FromRTCP(id, block, s.clk.Now())); len(acts) > 0 {
 				// Grading changed the stream mix's rate: renegotiate the
 				// session's reservation so freed bandwidth returns to the
 				// admission pool ([KRI 94]-style service renegotiation).
@@ -852,18 +949,20 @@ func (s *Server) onFeedback(from netsim.Addr, m protocol.Feedback) {
 
 // renegotiateSession resizes the session's bandwidth reservation to the
 // aggregate nominal rate of its streams at their current quality levels.
+// The server lock covers only the sender-list snapshot; per-stream rates
+// are read through each sender's own lock.
 func (s *Server) renegotiateSession(sess *session) {
 	s.mu.Lock()
-	total := 0.0
-	for id, snd := range sess.senders {
-		level, stopped := sess.qosMgr.Level(id)
-		if stopped || snd.finished || snd.disabled {
-			continue
-		}
-		total += snd.src.Bitrate(level)
+	snds := make([]*sender, 0, len(sess.senders))
+	for _, snd := range sess.senders {
+		snds = append(snds, snd)
 	}
 	connID := sess.connID
 	s.mu.Unlock()
+	total := 0.0
+	for _, snd := range snds {
+		total += snd.nominalRate()
+	}
 	s.adm.Renegotiate(connID, total)
 }
 
@@ -871,7 +970,11 @@ func (s *Server) onMediaOp(from netsim.Addr, mt protocol.MsgType, m protocol.Med
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[string(from)]
-	if !ok {
+	if !ok || sess.suspended {
+		// A suspended session's media is parked behind the grace machinery;
+		// a delayed fire-and-forget resume/reload must not restart senders
+		// toward a client the suspend machinery believes is paused. Only
+		// the resume-token / ResumeSession paths may wake it.
 		return
 	}
 	switch mt {

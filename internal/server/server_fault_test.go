@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -108,13 +109,13 @@ func TestSuspendGraceExpiryReleasesAdmission(t *testing.T) {
 		h.srv.mu.Unlock()
 		t.Fatal("session not suspended")
 	}
-	for id, snd := range sess.senders {
-		if !snd.paused {
-			h.srv.mu.Unlock()
+	snds := sess.senders
+	h.srv.mu.Unlock()
+	for id, snd := range snds {
+		if !snd.isPaused() {
 			t.Fatalf("sender %s not paused while suspended", id)
 		}
 	}
-	h.srv.mu.Unlock()
 	h.clk.RunFor(3 * time.Second) // grace (2s) runs out
 	if n := h.srv.Sessions(); n != 0 {
 		t.Fatalf("sessions after grace expiry = %d, want 0", n)
@@ -155,13 +156,13 @@ func TestResumeBeforeExpiryRestoresSenders(t *testing.T) {
 		h.srv.mu.Unlock()
 		t.Fatal("no senders survived the suspend/resume cycle")
 	}
-	for id, snd := range sess.senders {
-		if snd.paused {
-			h.srv.mu.Unlock()
+	snds := sess.senders
+	h.srv.mu.Unlock()
+	for id, snd := range snds {
+		if snd.isPaused() {
 			t.Fatalf("sender %s still paused after resume", id)
 		}
 	}
-	h.srv.mu.Unlock()
 	if r := h.srv.Admission().Reserved(); r != reserved {
 		t.Fatalf("reserved changed across suspend/resume: %v → %v", reserved, r)
 	}
@@ -228,6 +229,131 @@ func TestReplySendFailureCounted(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no EvSendFailure trace event")
+	}
+}
+
+// A storm of rejected connects (bad credentials, each from a distinct
+// address with a fresh request ID) must not grow the dedup map without
+// bound: rings of clients that never obtained a session are TTL-swept,
+// while a connected client's ring survives.
+func TestRejectStormDoesNotLeakDedupRings(t *testing.T) {
+	h := newFaultHarness(t, Options{})
+	h.connectAndPlay(t)
+	const storm = 50
+	for i := 0; i < storm; i++ {
+		h.net.Send(netsim.Packet{
+			From: netsim.MakeAddr(fmt.Sprintf("evil%d", i), 6000),
+			To:   netsim.MakeAddr("srv", ControlPort),
+			Payload: protocol.MustEncodeReq(protocol.MsgConnect, uint32(100+i),
+				protocol.Connect{User: "u", Password: "wrong"}),
+			Reliable: true,
+		})
+	}
+	h.clk.RunFor(time.Second)
+	h.srv.dmu.Lock()
+	grown := len(h.srv.dedup)
+	h.srv.dmu.Unlock()
+	if grown < storm {
+		t.Fatalf("dedup rings after storm = %d, want ≥ %d", grown, storm)
+	}
+	// Past the TTL the sweep reaps every sessionless ring.
+	h.clk.RunFor(3 * dedupTTL)
+	h.srv.dmu.Lock()
+	left := len(h.srv.dedup)
+	_, clientSurvives := h.srv.dedup[string(fakeClient)]
+	h.srv.dmu.Unlock()
+	if left != 1 || !clientSurvives {
+		t.Fatalf("dedup rings after sweep = %d (client survives=%v), want only the live client's",
+			left, clientSurvives)
+	}
+	// The live session must still dedup retransmissions after the sweep.
+	if n := h.srv.Sessions(); n != 1 {
+		t.Fatalf("sessions = %d, want 1", n)
+	}
+}
+
+// Fire-and-forget media ops arriving for a suspended session must be
+// ignored: a delayed resume or reload must not restart senders the suspend
+// machinery paused, or the grace/resume bookkeeping would desynchronize from
+// what is actually on the wire.
+func TestMediaOpsIgnoredWhileSuspended(t *testing.T) {
+	h := newFaultHarness(t, Options{Grace: time.Minute})
+	h.connectAndPlay(t)
+	h.sendReq(3, protocol.MsgSuspend, protocol.Suspend{})
+	var sr protocol.SuspendResult
+	h.lastReply(t, protocol.MsgSuspendResult, &sr)
+	if !sr.OK {
+		t.Fatalf("suspend = %+v", sr)
+	}
+	// Delayed media ops from the suspended client's address.
+	h.sendReq(0, protocol.MsgResume, protocol.MediaOp{})
+	h.sendReq(0, protocol.MsgReload, protocol.MediaOp{})
+	h.srv.mu.Lock()
+	sess := h.srv.sessions[string(fakeClient)]
+	if sess == nil || !sess.suspended {
+		h.srv.mu.Unlock()
+		t.Fatal("session no longer suspended")
+	}
+	snds := sess.senders
+	h.srv.mu.Unlock()
+	for id, snd := range snds {
+		if !snd.isPaused() {
+			t.Fatalf("sender %s woken by a media op while suspended", id)
+		}
+	}
+	// The legitimate resume path still works afterwards.
+	h.sendReq(4, protocol.MsgConnect, protocol.Connect{ResumeToken: sr.ResumeToken})
+	var cr protocol.ConnectResult
+	h.lastReply(t, protocol.MsgConnectResult, &cr)
+	if !cr.OK || !cr.Resumed {
+		t.Fatalf("resume = %+v", cr)
+	}
+}
+
+// Reload must restart per-document statistics from zero: the sender's own
+// counters and the RTP-layer totals carried in RTCP sender reports describe
+// the new playback, not the sum of every playback since the doc was opened.
+func TestReloadResetsSenderCounters(t *testing.T) {
+	h := newFaultHarness(t, Options{})
+	h.connectAndPlay(t)
+	h.clk.RunFor(3 * time.Second)
+	h.srv.mu.Lock()
+	sess := h.srv.sessions[string(fakeClient)]
+	snds := sess.senders
+	h.srv.mu.Unlock()
+	var busy *sender
+	for _, snd := range snds {
+		if snd.stats().frames > 0 {
+			busy = snd
+			break
+		}
+	}
+	if busy == nil {
+		t.Fatal("no sender emitted anything before the reload")
+	}
+	busy.mu.Lock()
+	rtpBefore := busy.rtpS.PacketCount()
+	busy.mu.Unlock()
+	if rtpBefore == 0 {
+		t.Fatal("RTP layer recorded no packets before the reload")
+	}
+	// Inject the reload synchronously: no virtual time passes, so any
+	// non-zero counter afterwards is carried-over history.
+	h.srv.handle(makeCtrlPacket(protocol.MsgReload, protocol.MediaOp{}))
+	st := busy.stats()
+	if st.frames != 0 || st.packets != 0 || st.bytes != 0 || st.skipped != 0 {
+		t.Fatalf("sender counters after reload = %+v, want all zero", st)
+	}
+	busy.mu.Lock()
+	rtpAfter := busy.rtpS.PacketCount()
+	busy.mu.Unlock()
+	if rtpAfter != 0 {
+		t.Fatalf("RTP packet count after reload = %d, want 0", rtpAfter)
+	}
+	// Replay proceeds: the stream re-emits from its first frame.
+	h.clk.RunFor(2 * time.Second)
+	if busy.stats().frames == 0 {
+		t.Fatal("no frames emitted after reload")
 	}
 }
 
