@@ -1,9 +1,12 @@
 # Repo checks. `make check` is the full gate: vet + build + tests plus the
 # race detector over the concurrency-heavy packages (live transport, the
-# network simulator, telemetry, the playout scheduler, and both
-# control-plane endpoints). `make chaos` runs the fault-injection suite on
-# its own, with the pinned seed and the race detector. `make bench-dataplane`
-# measures the server media data plane and writes BENCH_dataplane.json.
+# network simulator, telemetry, the playout scheduler, the wire codecs and
+# buffer pooling of the media path, and both control-plane endpoints); the
+# allocation regression tests in internal/server ride along in `test`.
+# `make chaos` runs the fault-injection suite on its own, with the pinned
+# seed and the race detector. `make bench-dataplane` measures the server
+# media data plane (with -benchmem allocation reporting) and writes
+# BENCH_dataplane.json.
 
 GO ?= go
 
@@ -21,10 +24,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/... ./internal/client/... ./internal/server/...
+	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/... ./internal/client/... ./internal/server/... ./internal/media/... ./internal/rtp/...
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/...
 
 bench-dataplane:
+	$(GO) test -bench BenchmarkDataPlane -benchmem -run '^$$' ./internal/server/
 	$(GO) run ./cmd/experiments -dataplane BENCH_dataplane.json

@@ -77,6 +77,12 @@ type Options struct {
 	// Obs, when set, threads telemetry through the browser's buffers and
 	// playout scheduler and records session lifecycle events.
 	Obs *obs.Scope
+	// OnFrame, when set, observes every fully reassembled media frame with
+	// its payload bytes (integrity tests hook it). The payload slice is
+	// borrowed pooled scratch: it is valid only for the duration of the
+	// call, and the callback runs under the client's internal lock, so it
+	// must copy what it keeps and must not call back into the client.
+	OnFrame func(streamID string, hdr media.FrameHeader, payload []byte)
 }
 
 func (o *Options) fill() {
@@ -148,6 +154,7 @@ type Client struct {
 	monitor    *qos.ClientMonitor
 	streamInfo map[string]protocol.StreamAnnounce
 	asm        map[uint32]map[uint32]*assembly
+	asmFree    []*assembly // recycled assembly shells (their bufs are pooled separately)
 	docName    string
 	docHost    string   // server the current document came from
 	fillIDs    []string // stream buffers gating the deliberate initial delay
@@ -214,14 +221,58 @@ type navEntry struct {
 	Name string
 }
 
-// assembly collects one frame's fragments.
+// asmPool recycles the frame-sized reassembly scratch buffers of every
+// client's media receive path.
+var asmPool buffer.Pool
+
+// assembly collects one frame's fragments into pooled scratch. Fragment fi
+// occupies bytes [fi×MTU, fi×MTU+len) of the frame, so arrival order does
+// not matter, and the per-fragment data is copied out of the (borrowed,
+// transport-owned) packet payload immediately.
 type assembly struct {
-	frags    map[uint16][]byte
-	count    uint16
-	total    uint16
-	hdr      media.FrameHeader
-	ts       uint32
-	complete bool
+	pb    *buffer.Buf // FrameSize bytes of pooled scratch
+	got   []bool      // fragments seen; duplicate deliveries must not double-count
+	have  uint16
+	total uint16
+	hdr   media.FrameHeader
+	ts    uint32
+}
+
+// newAssemblyLocked takes an assembly shell off the free list (or makes one)
+// and equips it with pooled scratch sized for the frame. Caller holds c.mu.
+func (c *Client) newAssemblyLocked(hdr media.FrameHeader, ts uint32) *assembly {
+	var a *assembly
+	if n := len(c.asmFree); n > 0 {
+		a = c.asmFree[n-1]
+		c.asmFree[n-1] = nil
+		c.asmFree = c.asmFree[:n-1]
+	} else {
+		a = &assembly{}
+	}
+	a.pb = asmPool.Get(int(hdr.FrameSize))
+	if cap(a.got) < int(hdr.FragCount) {
+		a.got = make([]bool, hdr.FragCount)
+	} else {
+		a.got = a.got[:hdr.FragCount]
+		for i := range a.got {
+			a.got[i] = false
+		}
+	}
+	a.have = 0
+	a.total = hdr.FragCount
+	a.hdr = hdr
+	a.ts = ts
+	return a
+}
+
+// freeAssemblyLocked returns the scratch to the pool and the shell to the
+// free list. Caller holds c.mu and must not touch a afterwards.
+func (c *Client) freeAssemblyLocked(a *assembly) {
+	asmPool.Put(a.pb)
+	a.pb = nil
+	if len(c.asmFree) < 64 {
+		c.asmFree = append(c.asmFree, a)
+	}
 }
 
 // New creates a browser and registers its control listener. It fails when

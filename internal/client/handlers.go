@@ -378,6 +378,12 @@ func (c *Client) pollFillLocked(deadline time.Time) {
 // handleMedia is the stream handler: it parses RTP, updates the QoS
 // monitor, reassembles fragments and pushes complete frames into the
 // stream's buffer.
+//
+// Per the netsim.Net ownership rule, pkt.Payload is borrowed for the
+// duration of the call only — the simulator recycles the buffer afterwards.
+// rtp.Unmarshal and ParseFrameHeader return zero-copy views into it, so the
+// fragment data is copied into the assembly's pooled scratch before return
+// and nothing retains pkt.Payload.
 func (c *Client) handleMedia(pkt netsim.Packet) {
 	// RTP/RTCP demultiplexing: RTCP packet types occupy 200–204 in the
 	// second octet, a range RTP payload types never reach.
@@ -411,38 +417,50 @@ func (c *Client) handleMedia(pkt netsim.Packet) {
 	}
 	a, ok := byFrame[hdr.Index]
 	if !ok {
-		a = &assembly{frags: map[uint16][]byte{}, total: hdr.FragCount, hdr: hdr, ts: p.Timestamp}
+		a = c.newAssemblyLocked(hdr, p.Timestamp)
 		byFrame[hdr.Index] = a
 	}
-	if _, dup := a.frags[hdr.Frag]; !dup {
-		a.frags[hdr.Frag] = data
-		a.count++
+	// Copy the fragment into its slot of the frame scratch. The first-seen
+	// header is authoritative: fragments whose length disagrees with the
+	// frame's fragmentation geometry (corruption, a mismatched retransmit)
+	// are dropped, and duplicate deliveries must not double-count.
+	if int(hdr.Frag) < len(a.got) && !a.got[hdr.Frag] {
+		off, n := media.FragmentSpan(int(a.hdr.FrameSize), int(hdr.Frag))
+		if n == len(data) {
+			copy(a.pb.B[off:off+n], data)
+			a.got[hdr.Frag] = true
+			a.have++
+		}
 	}
-	if a.count < a.total || a.complete {
+	if a.have < a.total {
 		return
 	}
-	a.complete = true
 	delete(byFrame, hdr.Index)
 	// Drop stale assemblies far behind this frame (lost fragments never
-	// complete; bound the state).
-	for idx := range byFrame {
+	// complete; bound the state) and recycle their scratch.
+	for idx, stale := range byFrame {
 		if idx+50 < hdr.Index {
 			delete(byFrame, idx)
+			c.freeAssemblyLocked(stale)
 		}
 	}
 	if buf := c.bufs.Get(id); buf != nil {
 		buf.Push(buffer.Item{
 			Frame: media.Frame{
-				Index:  int(hdr.Index),
-				PTS:    rtp.FromTimestamp(p.Timestamp),
-				Kind:   hdr.Kind,
-				Size:   int(hdr.FrameSize),
+				Index:  int(a.hdr.Index),
+				PTS:    rtp.FromTimestamp(a.ts),
+				Kind:   a.hdr.Kind,
+				Size:   int(a.hdr.FrameSize),
 				Marker: true,
-				Level:  int(hdr.Level),
+				Level:  int(a.hdr.Level),
 			},
 			ArrivedAt: c.clk.Now(),
 		})
 	}
+	if c.opts.OnFrame != nil {
+		c.opts.OnFrame(id, a.hdr, a.pb.B)
+	}
+	c.freeAssemblyLocked(a)
 }
 
 // sendFeedback ships the periodic RTCP receiver report to the server.
@@ -541,6 +559,11 @@ func (c *Client) teardownPresentationLocked() {
 		c.net.Listen(addr, nil)
 	}
 	c.mediaPorts = nil
+	for _, byFrame := range c.asm {
+		for _, a := range byFrame {
+			c.freeAssemblyLocked(a)
+		}
+	}
 	c.asm = nil
 }
 

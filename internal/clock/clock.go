@@ -34,7 +34,8 @@ type Clock interface {
 
 // Timer is a cancellable pending AfterFunc call.
 type Timer struct {
-	stop func() bool
+	stop  func() bool
+	reset func(time.Duration) bool
 }
 
 // Stop cancels the timer. It reports true when the call was prevented from
@@ -44,6 +45,18 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	return t.stop()
+}
+
+// Reset re-arms the timer to fire its function after d from now, whether it
+// is still pending, already fired, or was stopped. It reports true when the
+// timer was pending (the previously scheduled call is superseded). Reset
+// lets a periodic caller — the media pacing loop re-arming itself every
+// frame — reuse one timer instead of allocating a fresh AfterFunc per tick.
+func (t *Timer) Reset(d time.Duration) bool {
+	if t == nil || t.reset == nil {
+		return false
+	}
+	return t.reset(d)
 }
 
 // Wall is the operating-system real-time clock.
@@ -61,7 +74,7 @@ func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
 // AfterFunc implements Clock using the runtime timer system.
 func (Wall) AfterFunc(d time.Duration, fn func()) *Timer {
 	t := time.AfterFunc(d, fn)
-	return &Timer{stop: t.Stop}
+	return &Timer{stop: t.Stop, reset: t.Reset}
 }
 
 // Virtual is a manually advanced simulation clock and discrete-event
@@ -144,16 +157,36 @@ func (v *Virtual) AfterFunc(d time.Duration, fn func()) *Timer {
 	ev := &event{at: v.now.Add(d), seq: v.seq, fn: fn}
 	heap.Push(&v.events, ev)
 	v.mu.Unlock()
-	return &Timer{stop: func() bool {
-		v.mu.Lock()
-		defer v.mu.Unlock()
-		if ev.cancelled || ev.index == -1 {
-			return false
-		}
-		ev.cancelled = true
-		heap.Remove(&v.events, ev.index)
-		return true
-	}}
+	return &Timer{
+		stop: func() bool {
+			v.mu.Lock()
+			defer v.mu.Unlock()
+			if ev.cancelled || ev.index == -1 {
+				return false
+			}
+			ev.cancelled = true
+			heap.Remove(&v.events, ev.index)
+			return true
+		},
+		reset: func(d time.Duration) bool {
+			if d < 0 {
+				d = 0
+			}
+			v.mu.Lock()
+			defer v.mu.Unlock()
+			wasPending := !ev.cancelled && ev.index >= 0
+			ev.cancelled = false
+			ev.at = v.now.Add(d)
+			v.seq++
+			ev.seq = v.seq // keep FIFO tie-breaking deterministic after re-arm
+			if ev.index >= 0 {
+				heap.Fix(&v.events, ev.index)
+			} else {
+				heap.Push(&v.events, ev)
+			}
+			return wasPending
+		},
+	}
 }
 
 // At schedules fn at absolute instant t (clamped to now when in the past).

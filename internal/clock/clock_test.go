@@ -214,6 +214,109 @@ func TestNilTimerStop(t *testing.T) {
 	if tm.Stop() {
 		t.Fatal("nil Timer Stop() = true")
 	}
+	if tm.Reset(time.Second) {
+		t.Fatal("nil Timer Reset() = true")
+	}
+}
+
+func TestResetPostponesPendingTimer(t *testing.T) {
+	v := NewSim()
+	var firedAt []time.Duration
+	tm := v.AfterFunc(10*time.Millisecond, func() { firedAt = append(firedAt, v.Since(Epoch)) })
+	if !tm.Reset(50 * time.Millisecond) {
+		t.Fatal("Reset on a pending timer must report true")
+	}
+	v.Advance(20 * time.Millisecond)
+	if len(firedAt) != 0 {
+		t.Fatalf("superseded deadline fired at %v", firedAt)
+	}
+	v.Advance(time.Second)
+	if len(firedAt) != 1 || firedAt[0] != 50*time.Millisecond {
+		t.Fatalf("fired at %v, want [50ms]", firedAt)
+	}
+}
+
+func TestResetReArmsFiredTimer(t *testing.T) {
+	v := NewSim()
+	var firedAt []time.Duration
+	var tm *Timer
+	tm = v.AfterFunc(10*time.Millisecond, func() { firedAt = append(firedAt, v.Since(Epoch)) })
+	v.Advance(20 * time.Millisecond)
+	if tm.Reset(10 * time.Millisecond) {
+		t.Fatal("Reset on a fired timer must report false")
+	}
+	v.Advance(20 * time.Millisecond)
+	if len(firedAt) != 2 || firedAt[0] != 10*time.Millisecond || firedAt[1] != 30*time.Millisecond {
+		t.Fatalf("fired at %v, want [10ms 30ms]", firedAt)
+	}
+}
+
+func TestResetReArmsStoppedTimer(t *testing.T) {
+	v := NewSim()
+	fired := 0
+	tm := v.AfterFunc(10*time.Millisecond, func() { fired++ })
+	tm.Stop()
+	if tm.Reset(5 * time.Millisecond) {
+		t.Fatal("Reset on a stopped timer must report false")
+	}
+	v.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+}
+
+// TestResetFromOwnCallbackPaces is the pacing-loop pattern the data plane
+// relies on: one timer re-armed from inside its own callback must tick
+// periodically with no drift and fire exactly once per period.
+func TestResetFromOwnCallbackPaces(t *testing.T) {
+	v := NewSim()
+	var ticks []time.Duration
+	var tm *Timer
+	tm = v.AfterFunc(100*time.Millisecond, func() {
+		ticks = append(ticks, v.Since(Epoch))
+		if len(ticks) < 5 {
+			tm.Reset(100 * time.Millisecond)
+		}
+	})
+	v.RunFor(time.Minute)
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, d := range ticks {
+		if want := time.Duration(i+1) * 100 * time.Millisecond; d != want {
+			t.Fatalf("tick %d at %v, want %v", i, d, want)
+		}
+	}
+}
+
+// TestResetKeepsFIFOOrdering: a reset timer lands *after* timers already
+// scheduled for the same deadline, exactly as a freshly created one would —
+// the determinism guarantee simulation replay depends on.
+func TestResetKeepsFIFOOrdering(t *testing.T) {
+	v := NewSim()
+	var order []int
+	tm := v.AfterFunc(5*time.Millisecond, func() { order = append(order, 9) })
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 0) })
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 1) })
+	tm.Reset(20 * time.Millisecond) // same deadline, re-armed last → fires last
+	v.RunUntilIdle()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 9 {
+		t.Fatalf("order = %v, want [0 1 9]", order)
+	}
+}
+
+func TestWallTimerReset(t *testing.T) {
+	w := NewWall()
+	done := make(chan struct{})
+	tm := w.AfterFunc(time.Hour, func() { close(done) })
+	if !tm.Reset(time.Millisecond) {
+		t.Fatal("Reset on a pending wall timer must report true")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reset wall timer never fired")
+	}
 }
 
 // Property: for any set of non-negative delays, RunUntilIdle fires all timers

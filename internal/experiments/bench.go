@@ -8,15 +8,18 @@ import (
 )
 
 // DataPlane runs the server data-plane load harness at each session count
-// and tabulates throughput, emit-latency tail and global-lock pressure. The
-// results back BENCH_dataplane.json: frames/s must grow (or hold) with
-// session count, and the paced phase must show zero srv.mu acquisitions.
+// and tabulates throughput, emit-latency tail, global-lock pressure and the
+// allocation footprint of both phases. The results back
+// BENCH_dataplane.json: frames/s must grow (or hold) with session count, the
+// paced phase must show zero srv.mu acquisitions, and the pooled emit path
+// must hold the paced allocation rate at (amortized) ≤ 1 object per frame.
 func DataPlane(sessions []int) (*stats.Table, []server.DataPlaneResult, error) {
 	if len(sessions) == 0 {
 		sessions = []int{1, 8, 64}
 	}
-	tb := stats.NewTable("BENCH — media data plane: parallel emit off the global lock",
-		"sessions", "senders", "paced lock acqs", "frames/s", "emit p50 µs", "emit p95 µs", "lock held µs")
+	tb := stats.NewTable("BENCH — media data plane: parallel zero-alloc emit off the global lock",
+		"sessions", "senders", "paced lock acqs", "frames/s", "emit p50 µs", "emit p95 µs",
+		"paced allocs/frame", "paced B/frame", "pump allocs/frame", "pump B/frame", "lock held µs")
 	var out []server.DataPlaneResult
 	for _, n := range sessions {
 		res, err := server.RunDataPlaneLoad(server.DataPlaneConfig{
@@ -30,10 +33,18 @@ func DataPlane(sessions []int) (*stats.Table, []server.DataPlaneResult, error) {
 			return nil, nil, fmt.Errorf("dataplane sessions=%d: %d srv.mu acquisitions during paced emission",
 				n, res.PacedLockAcqs)
 		}
+		if res.PacedAllocsPerFrame > 1 {
+			return nil, nil, fmt.Errorf("dataplane sessions=%d: paced phase allocates %.2f objects/frame, want ≤ 1",
+				n, res.PacedAllocsPerFrame)
+		}
 		tb.AddRow(res.Sessions, res.Senders, res.PacedLockAcqs,
 			fmt.Sprintf("%.0f", res.FramesPerSec),
 			fmt.Sprintf("%.1f", res.EmitP50Micros),
 			fmt.Sprintf("%.1f", res.EmitP95Micros),
+			fmt.Sprintf("%.3f", res.PacedAllocsPerFrame),
+			fmt.Sprintf("%.1f", res.PacedAllocBytesPerFrame),
+			fmt.Sprintf("%.3f", res.PumpAllocsPerFrame),
+			fmt.Sprintf("%.1f", res.PumpAllocBytesPerFrame),
 			res.LockHeldMicros)
 		out = append(out, res)
 	}

@@ -11,7 +11,8 @@
 package media
 
 import (
-	"fmt"
+	"encoding/binary"
+	"strconv"
 	"time"
 
 	"repro/internal/rtp"
@@ -100,7 +101,9 @@ func clampLevel(level, n int) int {
 	return level
 }
 
-// framesIn is the shared FramesIn implementation.
+// framesIn is the shared FramesIn implementation. The result is preallocated
+// exactly: the window [from, to) contains a computable number of frame
+// instants, so the repeated-append growth pattern is avoidable.
 func framesIn(s Source, from, to time.Duration, level int) []Frame {
 	if to <= from {
 		return nil
@@ -113,9 +116,14 @@ func framesIn(s Source, from, to time.Duration, level int) []Frame {
 	if time.Duration(first)*fi < from {
 		first++
 	}
-	var out []Frame
-	for i := first; time.Duration(i)*fi < to; i++ {
-		out = append(out, s.FrameAt(i, level))
+	// Frames in the window are first..last with last = ceil(to/fi)-1.
+	count := int((to+fi-1)/fi) - first
+	if count <= 0 {
+		return nil
+	}
+	out := make([]Frame, count)
+	for k := range out {
+		out[k] = s.FrameAt(first+k, level)
 	}
 	return out
 }
@@ -124,18 +132,70 @@ func framesIn(s Source, from, to time.Duration, level int) []Frame {
 // with the stream id and frame index so tests can verify content integrity
 // end to end.
 func Payload(id string, index, size int) []byte {
+	return AppendPayload(nil, id, index, size)
+}
+
+// AppendPayload appends the deterministic filler payload for (id, index) to
+// dst and returns the extended slice: the tag "id#index|" (truncated when the
+// payload is smaller) followed by seeded RNG filler written eight bytes per
+// RNG draw. A sender reusing one scratch buffer across frames synthesizes
+// payloads with zero steady-state allocations.
+func AppendPayload(dst []byte, id string, index, size int) []byte {
 	if size <= 0 {
 		size = 1
 	}
-	buf := make([]byte, size)
-	tag := fmt.Sprintf("%s#%d|", id, index)
-	copy(buf, tag)
+	start := len(dst)
+	dst = extend(dst, size)
+	buf := dst[start:]
+	// Tag, truncated to the payload size exactly as the copy in the original
+	// formatting-based implementation truncated it.
+	var tag [tagMax]byte
+	t := append(tag[:0], id...)
+	t = append(t, '#')
+	t = strconv.AppendInt(t, int64(index), 10)
+	t = append(t, '|')
+	n := copy(buf, t)
+	// Seeded filler, 8 bytes per draw.
 	seed := uint64(index)*2654435761 + uint64(len(id))
-	rng := stats.NewRNG(seed)
-	for i := len(tag); i < size; i++ {
-		buf[i] = byte(rng.Uint64())
+	var rng stats.RNG
+	rng.Seed(seed)
+	for ; n+8 <= size; n += 8 {
+		binary.LittleEndian.PutUint64(buf[n:], rng.Uint64())
 	}
-	return buf
+	if n < size {
+		var last [8]byte
+		binary.LittleEndian.PutUint64(last[:], rng.Uint64())
+		copy(buf[n:], last[:size-n])
+	}
+	return dst
+}
+
+// tagMax bounds the stack scratch for payload tags; stream ids are short,
+// and an id long enough to overflow merely costs one allocation.
+const tagMax = 96
+
+// extend grows dst by n bytes (reallocating only when capacity is short) and
+// returns the lengthened slice; the added bytes are uninitialized garbage the
+// caller overwrites.
+func extend(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n)
+	copy(out, dst)
+	return out
+}
+
+// CachedPayloadSource is implemented by sources that keep their frame bodies
+// materialized. One-shot stills are the motivating case: a reload or session
+// restart re-sends the same image, and re-synthesizing a 640×480 still costs
+// 153600 bytes of RNG output each time. A nil return means "not cached,
+// synthesize" — senders fall back to AppendPayload.
+type CachedPayloadSource interface {
+	// CachedPayload returns the full payload of frame (index, level), or
+	// nil when the source does not cache that frame. The returned slice is
+	// owned by the source: callers must not modify it.
+	CachedPayload(index, level int) []byte
 }
 
 // ForStream builds the appropriate Source for a scenario stream.

@@ -1,0 +1,135 @@
+package media
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendPayloadMatchesPayload(t *testing.T) {
+	for _, size := range []int{1, 2, 7, 8, 9, 100, MTU, MTU + 1, 4096} {
+		want := Payload("vid", 17, size)
+		prefix := []byte("hdr")
+		got := AppendPayload(append([]byte(nil), prefix...), "vid", 17, size)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("size %d: prefix clobbered", size)
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("size %d: appended payload differs from Payload", size)
+		}
+	}
+}
+
+func TestPayloadTagEdgeCases(t *testing.T) {
+	a := Payload("stream-a", 42, 512)
+	if bytes.Equal(a, Payload("stream-a", 43, 512)) || bytes.Equal(a, Payload("stream-b", 42, 512)) {
+		t.Fatal("payloads must differ across frames and streams")
+	}
+	// Tiny payloads truncate the tag instead of overflowing.
+	tiny := Payload("stream-a", 42, 3)
+	if len(tiny) != 3 || string(tiny) != "str" {
+		t.Fatalf("tiny payload = %q", tiny)
+	}
+	// Ids longer than the stack tag scratch still encode correctly.
+	long := strings.Repeat("x", 200)
+	p := Payload(long, 5, 300)
+	if !strings.HasPrefix(string(p), long+"#5|") {
+		t.Fatal("long-id tag corrupted")
+	}
+}
+
+// TestAppendPayloadAllocFree: with a pre-grown destination the synthesis path
+// must not allocate — it runs once per emitted frame on the server.
+func TestAppendPayloadAllocFree(t *testing.T) {
+	scratch := make([]byte, 0, 8192)
+	avg := testing.AllocsPerRun(100, func() {
+		scratch = AppendPayload(scratch[:0], "vid", 7, 8000)
+	})
+	if avg != 0 {
+		t.Fatalf("AppendPayload allocates %.1f objects/frame with warm scratch", avg)
+	}
+}
+
+// TestVideoFrameAtAllocFree: frame metadata synthesis is on the per-frame
+// emit path and must not allocate (its VBR noise RNG lives on the stack).
+func TestVideoFrameAtAllocFree(t *testing.T) {
+	v := NewVideo("v", nil)
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		_ = v.FrameAt(i, 0)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Video.FrameAt allocates %.1f objects/frame", avg)
+	}
+}
+
+func TestFragmentSpanMatchesFragments(t *testing.T) {
+	f := func(size uint32) bool {
+		s := int(size % 500000)
+		frags := Fragments(s)
+		if FragmentCount(s) != len(frags) {
+			return false
+		}
+		for i, n := range frags {
+			off, fn := FragmentSpan(s, i)
+			if fn != n || off != i*MTU {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if c := FragmentCount(0); c != 1 {
+		t.Fatalf("FragmentCount(0) = %d, want 1 (empty frames still ship one packet)", c)
+	}
+	if off, n := FragmentSpan(0, 0); off != 0 || n != 0 {
+		t.Fatalf("FragmentSpan(0,0) = %d,%d", off, n)
+	}
+}
+
+func TestStillPayloadCaching(t *testing.T) {
+	im := NewImage("pic", 640, 480)
+	for level := 0; level < im.Levels(); level++ {
+		p1 := im.CachedPayload(0, level)
+		p2 := im.CachedPayload(0, level)
+		if p1 == nil || &p1[0] != &p2[0] {
+			t.Fatalf("level %d: still body re-synthesized instead of cached", level)
+		}
+		if want := Payload("pic", 0, im.Size(level)); !bytes.Equal(p1, want) {
+			t.Fatalf("level %d: cached body differs from synthesis", level)
+		}
+	}
+	if im.CachedPayload(1, 0) != nil {
+		t.Fatal("secondary still frames have no body to cache")
+	}
+	tx := NewText("note", "hello "+strconv.Itoa(42))
+	t1, t2 := tx.CachedPayload(0, 0), tx.CachedPayload(0, 0)
+	if t1 == nil || &t1[0] != &t2[0] {
+		t.Fatal("text body re-synthesized instead of cached")
+	}
+	if want := Payload("note", 0, tx.FrameAt(0, 0).Size); !bytes.Equal(t1, want) {
+		t.Fatal("cached text body differs from synthesis")
+	}
+	if tx.CachedPayload(3, 0) != nil {
+		t.Fatal("secondary text frames have no body to cache")
+	}
+}
+
+// TestFrameHeaderAppendToMatchesMarshal keeps the append-style frame-header
+// encoder bit-identical to the allocating one.
+func TestFrameHeaderAppendToMatchesMarshal(t *testing.T) {
+	h := FrameHeader{Index: 9999, Level: 2, Kind: FrameB, Frag: 3, FragCount: 8, FrameSize: 150000}
+	if !bytes.Equal(h.AppendTo(nil), h.Marshal(nil)) {
+		t.Fatal("AppendTo(nil) differs from Marshal(nil)")
+	}
+	prefix := []byte("rtp-header-bytes")
+	out := h.AppendTo(append([]byte(nil), prefix...))
+	if !bytes.Equal(out[:len(prefix)], prefix) || !bytes.Equal(out[len(prefix):], h.Marshal(nil)) {
+		t.Fatal("AppendTo after a prefix corrupted the encoding")
+	}
+}

@@ -2,6 +2,7 @@ package media
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/rtp"
@@ -105,9 +106,11 @@ func (v *Video) FrameAt(i, level int) Frame {
 	kind := v.gop[i%len(v.gop)]
 	cf := v.ladder[level].CompressionFactor
 	base := float64(v.baseSize(kind)) / cf
-	// Deterministic noise: seed per (id, index).
+	// Deterministic noise: seed per (id, index). The RNG lives on the stack —
+	// FrameAt runs once per emitted frame and must not allocate.
 	seed := uint64(i)*0x9E3779B1 + hashID(v.id)
-	r := stats.NewRNG(seed)
+	var r stats.RNG
+	r.Seed(seed)
 	size := int(base * (1 + v.noiseAmp*(2*r.Float64()-1)))
 	if size < 64 {
 		size = 64
@@ -235,9 +238,16 @@ func (a *Audio) LevelName(level int) string {
 // Image is a still-image source: the whole image is a single "frame",
 // chunked by the transport. Quality levels trade JPEG quality for size;
 // level names cycle through the prototype's supported formats.
+//
+// Image caches its frame bodies: stills are one-shot, but a reload or
+// session restart re-sends the same image, and a full-quality 640×480 still
+// is 153600 bytes of RNG synthesis per send without the cache.
 type Image struct {
 	id            string
 	width, height int
+
+	mu    sync.Mutex
+	cache [3][]byte // per-level frame bodies, built lazily
 }
 
 // NewImage creates an image source for the given pixel dimensions.
@@ -285,6 +295,21 @@ func (im *Image) FramesIn(from, to time.Duration, level int) []Frame {
 	return nil
 }
 
+// CachedPayload implements CachedPayloadSource: the still's body is built
+// once per level and reused across reload/restart re-sends.
+func (im *Image) CachedPayload(index, level int) []byte {
+	if index != 0 {
+		return nil
+	}
+	level = clampLevel(level, im.Levels())
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if im.cache[level] == nil {
+		im.cache[level] = Payload(im.id, 0, im.Size(level))
+	}
+	return im.cache[level]
+}
+
 // PayloadType implements Source.
 func (im *Image) PayloadType(level int) rtp.PayloadType {
 	if clampLevel(level, im.Levels()) == 2 {
@@ -299,9 +324,13 @@ func (im *Image) LevelName(level int) string {
 }
 
 // Text is a text-content source: one still frame holding the content.
+// Like Image it caches its one-shot frame body for reload/restart re-sends.
 type Text struct {
 	id      string
 	content string
+
+	mu    sync.Mutex
+	cache []byte
 }
 
 // NewText creates a text source.
@@ -339,6 +368,19 @@ func (t *Text) FramesIn(from, to time.Duration, level int) []Frame {
 	return nil
 }
 
+// CachedPayload implements CachedPayloadSource.
+func (t *Text) CachedPayload(index, level int) []byte {
+	if index != 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cache == nil {
+		t.cache = Payload(t.id, 0, t.FrameAt(0, level).Size)
+	}
+	return t.cache
+}
+
 // PayloadType implements Source.
 func (t *Text) PayloadType(int) rtp.PayloadType { return rtp.PTText }
 
@@ -353,6 +395,9 @@ var (
 	_ Source = (*Audio)(nil)
 	_ Source = (*Image)(nil)
 	_ Source = (*Text)(nil)
+
+	_ CachedPayloadSource = (*Image)(nil)
+	_ CachedPayloadSource = (*Text)(nil)
 )
 
 // FmtRate renders a bits/s rate human-readably.

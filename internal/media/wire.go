@@ -33,15 +33,23 @@ var ErrShortHeader = errors.New("media: short frame header")
 
 // Marshal prepends the header to the fragment data.
 func (h *FrameHeader) Marshal(data []byte) []byte {
-	out := make([]byte, FrameHeaderSize+len(data))
-	binary.BigEndian.PutUint32(out[0:], h.Index)
-	out[4] = h.Level
-	out[5] = uint8(h.Kind)
-	binary.BigEndian.PutUint16(out[6:], h.Frag)
-	binary.BigEndian.PutUint16(out[8:], h.FragCount)
-	binary.BigEndian.PutUint32(out[10:], h.FrameSize)
-	copy(out[FrameHeaderSize:], data)
-	return out
+	out := make([]byte, 0, FrameHeaderSize+len(data))
+	out = h.AppendTo(out)
+	return append(out, data...)
+}
+
+// AppendTo appends the 14-byte wire header to dst and returns the extended
+// slice. The sender hot path uses it to assemble header and fragment into
+// one pooled buffer without the intermediate copy Marshal makes.
+func (h *FrameHeader) AppendTo(dst []byte) []byte {
+	return append(dst,
+		byte(h.Index>>24), byte(h.Index>>16), byte(h.Index>>8), byte(h.Index),
+		h.Level,
+		uint8(h.Kind),
+		byte(h.Frag>>8), byte(h.Frag),
+		byte(h.FragCount>>8), byte(h.FragCount),
+		byte(h.FrameSize>>24), byte(h.FrameSize>>16), byte(h.FrameSize>>8), byte(h.FrameSize),
+	)
 }
 
 // ParseFrameHeader splits a payload into header and fragment data.
@@ -68,17 +76,35 @@ const MTU = 1400
 // Fragments splits a frame of the given size into fragment sizes of at most
 // MTU bytes (at least one fragment, even for empty frames).
 func Fragments(size int) []int {
-	if size <= 0 {
-		return []int{0}
-	}
-	var out []int
-	for size > 0 {
-		n := size
-		if n > MTU {
-			n = MTU
-		}
-		out = append(out, n)
-		size -= n
+	out := make([]int, FragmentCount(size))
+	for i := range out {
+		_, out[i] = FragmentSpan(size, i)
 	}
 	return out
+}
+
+// FragmentCount returns the number of MTU-bounded fragments a frame of the
+// given size splits into (at least one, even for empty frames). Together
+// with FragmentSpan it lets the sender iterate fragments without building a
+// slice.
+func FragmentCount(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + MTU - 1) / MTU
+}
+
+// FragmentSpan returns the byte range [off, off+n) of fragment i within a
+// frame of the given size. Fragment i always starts at i×MTU, which is also
+// the offset receivers use to place a fragment into reassembly scratch.
+func FragmentSpan(size, i int) (off, n int) {
+	off = i * MTU
+	if size <= off {
+		return off, 0
+	}
+	n = size - off
+	if n > MTU {
+		n = MTU
+	}
+	return off, n
 }

@@ -11,6 +11,23 @@
 //
 // The simulator is driven by a clock.Clock: with a clock.Virtual it forms a
 // discrete-event simulation, with clock.Wall it delays packets in real time.
+//
+// # Packet buffer ownership
+//
+// Send borrows pkt.Payload only for the duration of the call: the moment
+// Send returns, the caller may reuse (or pool) the backing array. The
+// simulated Network enforces this by copying the payload on enqueue into
+// its own pooled buffer — delivery is deferred through the clock and may
+// even duplicate the packet, so retaining the caller's slice would alias
+// whatever the caller writes next. The pooled copy is released after the
+// final delivery (or never taken for drops, which are decided before the
+// copy). Symmetrically, the Payload a Handler receives is borrowed: it is
+// valid only until the handler returns, after which the network may recycle
+// it. Handlers that keep payload bytes — the client's frame reassembly, for
+// example — must copy them out. Sniffer and DropHandler run synchronously
+// inside Send and observe the caller's original buffer under the same rule.
+// Every Net implementation (transport.Live encodes into fresh frames before
+// returning; test sinks only count) honors the same contract.
 package netsim
 
 import (
@@ -18,11 +35,17 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/clock"
 	"repro/internal/stats"
 )
+
+// payloadPool recycles the in-flight payload copies made at Send time and
+// released after each packet's final delivery.
+var payloadPool buffer.Pool
 
 // Addr is an endpoint address of the form "host:port".
 type Addr string
@@ -466,12 +489,22 @@ func (n *Network) Send(pkt Packet) error {
 	}
 	n.mu.Unlock()
 
+	// Delivery is deferred (and possibly duplicated), but the caller owns
+	// pkt.Payload again as soon as Send returns: copy-on-enqueue into a
+	// pooled buffer, released after the last delivery fires.
+	pb := payloadPool.Get(len(pkt.Payload))
+	copy(pb.B, pkt.Payload)
+	pkt.Payload = pb.B
+	remaining := int32(deliverCopies)
 	deliver := func() {
 		n.mu.Lock()
 		h := n.endpoints[pkt.To]
 		n.mu.Unlock()
 		if h != nil {
 			h(pkt)
+		}
+		if atomic.AddInt32(&remaining, -1) == 0 {
+			payloadPool.Put(pb)
 		}
 	}
 	n.clk.AfterFunc(arrival.Sub(now), deliver)

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestSendCopiesPayloadOnEnqueue pins the packet-buffer ownership rule: the
+// caller owns its payload again the moment Send returns, so mutating (or
+// pooling) the buffer immediately after Send must not corrupt what the
+// receiver sees — even when the link duplicates the packet and the second
+// copy arrives much later.
+func TestSendCopiesPayloadOnEnqueue(t *testing.T) {
+	clk := clock.NewSim()
+	net := New(clk, 7)
+	net.SetLink("a", "b", LinkConfig{Delay: time.Millisecond, Dup: 1})
+	var got [][]byte
+	net.Listen("b:1", func(p Packet) {
+		// The handler's payload is itself borrowed: copy it out.
+		got = append(got, append([]byte(nil), p.Payload...))
+	})
+	const want = "payload-under-test"
+	buf := []byte(want)
+	if err := net.Send(Packet{From: "a:1", To: "b:1", Payload: buf}); err != nil {
+		t.Fatal(err)
+	}
+	// Caller reuses its buffer immediately — the aliasing-corruption case.
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	clk.RunFor(time.Second)
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d, want 2 (Dup=1 link duplicates every packet)", len(got))
+	}
+	for i, g := range got {
+		if string(g) != want {
+			t.Fatalf("delivery %d saw %q, want %q: Send aliased the caller's buffer", i, g, want)
+		}
+	}
+}
+
+// TestSendReusedBufferAcrossPackets drives many packets through one reused
+// caller buffer with varying contents and sizes: every delivery (including
+// duplicates) must see exactly the bytes that were in the buffer at its own
+// Send call, proving copies are taken per-enqueue and released copies never
+// leak into later packets.
+func TestSendReusedBufferAcrossPackets(t *testing.T) {
+	clk := clock.NewSim()
+	net := New(clk, 11)
+	net.SetLink("a", "b", LinkConfig{Delay: 2 * time.Millisecond, Jitter: 3 * time.Millisecond, Dup: 0.5})
+	type rec struct{ n, size int }
+	var seen []rec
+	net.Listen("b:1", func(p Packet) {
+		for _, c := range p.Payload[1:] {
+			if c != p.Payload[0] {
+				t.Fatalf("delivery mixed bytes %d and %d: in-flight copy corrupted", p.Payload[0], c)
+			}
+		}
+		seen = append(seen, rec{int(p.Payload[0]), len(p.Payload)})
+	})
+	scratch := make([]byte, 0, 64)
+	sent := map[int]int{} // packet number → size
+	for i := 0; i < 40; i++ {
+		size := 1 + (i*7)%64
+		scratch = scratch[:size]
+		for j := range scratch {
+			scratch[j] = byte(i)
+		}
+		if err := net.Send(Packet{From: "a:1", To: "b:1", Payload: scratch}); err != nil {
+			t.Fatal(err)
+		}
+		sent[i] = size
+	}
+	clk.RunFor(time.Second)
+	if len(seen) < 40 {
+		t.Fatalf("deliveries = %d, want ≥ 40 (lossless link)", len(seen))
+	}
+	for _, r := range seen {
+		if sent[r.n] != r.size {
+			t.Fatalf("packet %d delivered with %d bytes, sent with %d", r.n, r.size, sent[r.n])
+		}
+	}
+}
+
+// TestFaultDropLeavesCallerBufferAlone covers the drop path of the ownership
+// rule: a fault-injected drop is decided before the copy is taken, Send
+// returns an error, and the caller's buffer is untouched and immediately
+// reusable.
+func TestFaultDropLeavesCallerBufferAlone(t *testing.T) {
+	clk := clock.NewSim()
+	net := New(clk, 3)
+	net.SetLink("a", "b", LinkConfig{Delay: time.Millisecond})
+	var got []string
+	net.Listen("b:1", func(p Packet) { got = append(got, string(p.Payload)) })
+	net.DropNext("a", "b", 1)
+	buf := []byte("dropped")
+	if err := net.Send(Packet{From: "a:1", To: "b:1", Payload: buf}); err == nil {
+		t.Fatal("fault drop should surface as a Send error")
+	}
+	if string(buf) != "dropped" {
+		t.Fatalf("caller buffer mutated on drop path: %q", buf)
+	}
+	copy(buf, "follow!")
+	if err := net.Send(Packet{From: "a:1", To: "b:1", Payload: buf}); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(time.Second)
+	if len(got) != 1 || got[0] != "follow!" {
+		t.Fatalf("deliveries = %v, want just the follow-up packet", got)
+	}
+}

@@ -82,23 +82,42 @@ type Packet struct {
 
 // Marshal encodes the packet into RFC 1889 wire format.
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, HeaderSize+len(p.Payload))
-	buf[0] = Version << 6 // V=2, P=0, X=0, CC=0
-	buf[1] = uint8(p.PayloadType) & 0x7f
-	if p.Marker {
-		buf[1] |= 0x80
+	buf := make([]byte, 0, HeaderSize+len(p.Payload))
+	return p.AppendTo(buf)
+}
+
+// AppendTo appends the packet's wire encoding (header then payload) to dst
+// and returns the extended slice. It allocates only when dst lacks capacity,
+// which is how the sender hot path assembles packets into pooled buffers.
+func (p *Packet) AppendTo(dst []byte) []byte {
+	dst = AppendHeader(dst, p.Marker, p.PayloadType, p.SequenceNumber, p.Timestamp, p.SSRC)
+	return append(dst, p.Payload...)
+}
+
+// AppendHeader appends a 12-byte RTP header with the given fields to dst.
+func AppendHeader(dst []byte, marker bool, pt PayloadType, seq uint16, ts, ssrc uint32) []byte {
+	b1 := uint8(pt) & 0x7f
+	if marker {
+		b1 |= 0x80
 	}
-	binary.BigEndian.PutUint16(buf[2:], p.SequenceNumber)
-	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
-	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
-	copy(buf[HeaderSize:], p.Payload)
-	return buf
+	return append(dst,
+		Version<<6, // V=2, P=0, X=0, CC=0
+		b1,
+		byte(seq>>8), byte(seq),
+		byte(ts>>24), byte(ts>>16), byte(ts>>8), byte(ts),
+		byte(ssrc>>24), byte(ssrc>>16), byte(ssrc>>8), byte(ssrc),
+	)
 }
 
 // ErrMalformed reports an undecodable RTP/RTCP packet.
 var ErrMalformed = errors.New("rtp: malformed packet")
 
-// Unmarshal decodes an RTP packet from wire format.
+// Unmarshal decodes an RTP packet from wire format. The returned packet's
+// Payload is a zero-copy view into buf: it stays valid only as long as the
+// caller owns buf. Receivers that hand the buffer back to a transport (or a
+// pool) after the handler returns must copy whatever payload bytes they
+// keep — the client's frame reassembly copies fragments into its own pooled
+// scratch for exactly this reason.
 func Unmarshal(buf []byte) (*Packet, error) {
 	if len(buf) < HeaderSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrMalformed, len(buf))
@@ -118,6 +137,6 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		Timestamp:      binary.BigEndian.Uint32(buf[4:]),
 		SSRC:           binary.BigEndian.Uint32(buf[8:]),
 	}
-	p.Payload = append([]byte(nil), buf[hdr:]...)
+	p.Payload = buf[hdr:]
 	return p, nil
 }

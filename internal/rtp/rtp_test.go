@@ -74,6 +74,67 @@ func TestQuickPacketRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendToMatchesMarshal: the append-style encoder is the single-pass
+// assembly primitive; its bytes must be identical to Marshal's, including
+// when appending after an existing prefix.
+func TestAppendToMatchesMarshal(t *testing.T) {
+	p := &Packet{
+		Marker: true, PayloadType: PTJPEG, SequenceNumber: 7,
+		Timestamp: 90000, SSRC: 0x1996, Payload: []byte("still bytes"),
+	}
+	if !bytes.Equal(p.AppendTo(nil), p.Marshal()) {
+		t.Fatal("AppendTo(nil) differs from Marshal")
+	}
+	prefix := []byte("prefix-")
+	out := p.AppendTo(append([]byte(nil), prefix...))
+	if !bytes.Equal(out[:len(prefix)], prefix) || !bytes.Equal(out[len(prefix):], p.Marshal()) {
+		t.Fatal("AppendTo after a prefix corrupted the encoding")
+	}
+}
+
+// TestAppendNextMatchesNext: a sender driven through the allocation-free
+// AppendNext path must produce the same wire bytes and the same counters as
+// one driven through Next+Marshal.
+func TestAppendNextMatchesNext(t *testing.T) {
+	a := NewSender(0xAB, PTMPEG, 65533)
+	b := NewSender(0xAB, PTMPEG, 65533)
+	payloads := [][]byte{[]byte("i-frame"), []byte("p"), nil, []byte("bigger payload here")}
+	for i, pl := range payloads {
+		ts := time.Duration(i) * 40 * time.Millisecond
+		marker := i%2 == 0
+		want := a.Next(ts, pl, marker).Marshal()
+		got := b.AppendNext(nil, ts, marker, len(pl))
+		got = append(got, pl...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("packet %d: AppendNext wire bytes differ from Next", i)
+		}
+	}
+	ra, rb := a.Report(time.Time{}, 0), b.Report(time.Time{}, 0)
+	if ra.PacketCount != rb.PacketCount || ra.OctetCount != rb.OctetCount {
+		t.Fatalf("counters diverged: %d/%d vs %d/%d",
+			ra.PacketCount, ra.OctetCount, rb.PacketCount, rb.OctetCount)
+	}
+}
+
+// TestUnmarshalZeroCopy pins the receive-path contract: the decoded Payload
+// is a view into the input buffer (no per-packet copy), so callers that keep
+// it must copy — and callers that don't get it for free.
+func TestUnmarshalZeroCopy(t *testing.T) {
+	p := &Packet{PayloadType: PTPCM, Payload: []byte("audio")}
+	buf := p.Marshal()
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Payload) == 0 || &q.Payload[0] != &buf[HeaderSize] {
+		t.Fatal("Unmarshal copied the payload; it must return a view into the input")
+	}
+	buf[HeaderSize] = 'X'
+	if q.Payload[0] != 'X' {
+		t.Fatal("payload view detached from the input buffer")
+	}
+}
+
 func TestPayloadTypeNames(t *testing.T) {
 	for _, pt := range []PayloadType{PTPCM, PTADPCM, PTVADPCM, PTJPEG, PTMPEG, PTAVI, PTScenario, PTGIF, PTText} {
 		if s := pt.String(); s == "" || s[0] == 'P' && s[1] == 'T' && pt != PTPCM {

@@ -45,10 +45,26 @@ func (s *Sender) Next(ts time.Duration, payload []byte, marker bool) *Packet {
 		SSRC:           s.SSRC,
 		Payload:        payload,
 	}
+	s.advance(len(payload))
+	return p
+}
+
+// AppendNext appends the next data packet's 12-byte header to dst and
+// accounts for a payload of payloadLen bytes, advancing the sequence number
+// and the sender-report counters exactly as Next does. The caller appends
+// the payload itself — this is the allocation-free half of single-pass
+// packet assembly: RTP header, frame header and payload land in one pooled
+// buffer with no intermediate slices.
+func (s *Sender) AppendNext(dst []byte, ts time.Duration, marker bool, payloadLen int) []byte {
+	dst = AppendHeader(dst, marker, s.PayloadType, s.seq, ToTimestamp(ts), s.SSRC)
+	s.advance(payloadLen)
+	return dst
+}
+
+func (s *Sender) advance(payloadLen int) {
 	s.seq++
 	s.packets++
-	s.octets += uint32(len(payload))
-	return p
+	s.octets += uint32(payloadLen)
 }
 
 // Report builds a sender report at wall time now with media time ts.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,15 @@ type DataPlaneResult struct {
 	// Paced phase: virtual-clock pacing over PacedWindow.
 	PacedFrames   int64 `json:"paced_frames"`
 	PacedLockAcqs int64 `json:"paced_lock_acqs"` // srv.mu acquisitions during pacing; must be 0
+
+	// Allocation footprint (runtime.MemStats deltas over each phase divided
+	// by its frames). The steady-state emit path is pooled and append-style,
+	// so the paced numbers must stay at (amortized) zero — the regression
+	// test pins them.
+	PacedAllocsPerFrame     float64 `json:"paced_allocs_per_frame"`
+	PacedAllocBytesPerFrame float64 `json:"paced_alloc_bytes_per_frame"`
+	PumpAllocsPerFrame      float64 `json:"pump_allocs_per_frame"`
+	PumpAllocBytesPerFrame  float64 `json:"pump_alloc_bytes_per_frame"`
 
 	// Pump phase: parallel full-rate emission, one goroutine per sender.
 	PumpFrames    int64   `json:"pump_frames"`
@@ -186,31 +196,51 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 		return
 	}
 
+	// memDelta samples the process-wide allocation counters around fn. The
+	// harness is the only thing running, so the delta is the phase's own
+	// footprint (plus the constant cost of the sampling itself, amortized
+	// over thousands of frames).
+	memDelta := func(fn func()) (mallocs, bytes int64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		fn()
+		runtime.ReadMemStats(&after)
+		return int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc)
+	}
+
 	// Paced phase: advance the virtual clock and let the flow-scenario
 	// timers emit. Everything that fires in this window is a sender timer,
-	// so the lock-meter delta is exactly the emit path's srv.mu footprint.
+	// so the lock-meter delta is exactly the emit path's srv.mu footprint —
+	// and the allocation delta is the pacing loop's footprint.
 	preFrames, _, _ := sumStats()
 	preAcqs, _ := srv.LockStats()
-	clk.Advance(cfg.PacedWindow)
+	pacedMallocs, pacedBytes := memDelta(func() { clk.Advance(cfg.PacedWindow) })
 	postAcqs, _ := srv.LockStats()
 	pacedFrames, _, _ := sumStats()
 	res.PacedFrames = pacedFrames - preFrames
 	res.PacedLockAcqs = postAcqs - preAcqs
+	if res.PacedFrames > 0 {
+		res.PacedAllocsPerFrame = float64(pacedMallocs) / float64(res.PacedFrames)
+		res.PacedAllocBytesPerFrame = float64(pacedBytes) / float64(res.PacedFrames)
+	}
 
 	// Pump phase: every sender emits back-to-back from its own goroutine.
 	pumpStartFrames, pumpStartPackets, pumpStartBytes := sumStats()
 	times := make([][]time.Duration, len(all))
 	var wg sync.WaitGroup
-	t0 := time.Now()
-	for i, snd := range all {
-		wg.Add(1)
-		go func(i int, snd *sender) {
-			defer wg.Done()
-			times[i] = snd.pump(cfg.FramesPerSender)
-		}(i, snd)
-	}
-	wg.Wait()
-	elapsed := time.Since(t0)
+	var elapsed time.Duration
+	pumpMallocs, pumpAllocBytes := memDelta(func() {
+		t0 := time.Now()
+		for i, snd := range all {
+			wg.Add(1)
+			go func(i int, snd *sender) {
+				defer wg.Done()
+				times[i] = snd.pump(cfg.FramesPerSender)
+			}(i, snd)
+		}
+		wg.Wait()
+		elapsed = time.Since(t0)
+	})
 	pumpFrames, pumpPackets, pumpBytes := sumStats()
 	res.PumpFrames = pumpFrames - pumpStartFrames
 	res.PumpPackets = pumpPackets - pumpStartPackets
@@ -218,6 +248,10 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 	res.ElapsedMicros = elapsed.Microseconds()
 	if elapsed > 0 {
 		res.FramesPerSec = float64(res.PumpFrames) / elapsed.Seconds()
+	}
+	if res.PumpFrames > 0 {
+		res.PumpAllocsPerFrame = float64(pumpMallocs) / float64(res.PumpFrames)
+		res.PumpAllocBytesPerFrame = float64(pumpAllocBytes) / float64(res.PumpFrames)
 	}
 
 	var flat []time.Duration

@@ -25,6 +25,7 @@ func makeCtrlPacket(mt protocol.MsgType, body interface{}) netsim.Packet {
 func BenchmarkDataPlane(b *testing.B) {
 	for _, sessions := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := RunDataPlaneLoad(DataPlaneConfig{
 					Sessions:        sessions,
@@ -38,6 +39,10 @@ func BenchmarkDataPlane(b *testing.B) {
 				}
 				b.ReportMetric(res.FramesPerSec, "frames/s")
 				b.ReportMetric(res.EmitP95Micros, "emit-p95-µs")
+				b.ReportMetric(res.PumpAllocsPerFrame, "pump-allocs/frame")
+				b.ReportMetric(res.PumpAllocBytesPerFrame, "pump-alloc-B/frame")
+				b.ReportMetric(res.PacedAllocsPerFrame, "paced-allocs/frame")
+				b.ReportMetric(res.PacedAllocBytesPerFrame, "paced-alloc-B/frame")
 			}
 		})
 	}

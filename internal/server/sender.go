@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/clock"
 	"repro/internal/media"
 	"repro/internal/netsim"
@@ -11,6 +12,13 @@ import (
 	"repro/internal/rtp"
 	"repro/internal/scenario"
 )
+
+// pktPool recycles the packet assembly buffers of every sender: RTP header,
+// frame header and payload fragment are appended into one pooled buffer per
+// packet. Per the netsim.Net ownership rule, Send borrows the buffer only
+// for the duration of the call, so it goes straight back to the pool after
+// each Send returns.
+var pktPool buffer.Pool
 
 // sender is one media server's per-stream transmission process: it paces the
 // stream's frames according to the flow scenario, encodes each frame at the
@@ -34,13 +42,17 @@ type sender struct {
 	qos    *qos.Manager
 	stream *scenario.Stream
 	src    media.Source
+	cached media.CachedPayloadSource // non-nil when src caches frame bodies
 	flow   *scenario.FlowSpec
+	from   netsim.Addr // precomputed source address (MakeAddr formats)
 	to     netsim.Addr
+	emitFn func() // the emit method value, bound once so re-arms don't allocate
 
 	// mu guards everything below. It is the only lock the per-frame emit
 	// path takes.
 	mu       sync.Mutex
 	rtpS     *rtp.Sender
+	scratch  []byte    // reusable payload synthesis buffer, grows to the max frame size
 	origin   time.Time // flow time zero
 	nextIdx  int
 	timer    *clock.Timer
@@ -58,16 +70,20 @@ type sender struct {
 }
 
 func newSender(srv *Server, mgr *qos.Manager, flow *scenario.FlowSpec, src media.Source, ssrc uint32, to netsim.Addr, origin time.Time) *sender {
-	return &sender{
+	sn := &sender{
 		srv:    srv,
 		qos:    mgr,
 		stream: flow.Stream,
 		src:    src,
 		rtpS:   rtp.NewSender(ssrc, src.PayloadType(0), 0),
 		flow:   flow,
+		from:   netsim.MakeAddr(srv.Name, mediaPort),
 		to:     to,
 		origin: origin,
 	}
+	sn.cached, _ = src.(media.CachedPayloadSource)
+	sn.emitFn = sn.emit
+	return sn
 }
 
 // reliable reports whether this stream uses the lossless in-order path.
@@ -94,7 +110,14 @@ func (sn *sender) armLocked() {
 	if d < 0 {
 		d = 0
 	}
-	sn.timer = sn.srv.clk.AfterFunc(d, sn.emit)
+	// Reuse one timer across the stream's whole life: re-arming with Reset
+	// is allocation-free on both clock implementations, and per-frame
+	// re-arm is the steady state of the pacing loop.
+	if sn.timer == nil {
+		sn.timer = sn.srv.clk.AfterFunc(d, sn.emitFn)
+	} else {
+		sn.timer.Reset(d)
+	}
 }
 
 // emit transmits one frame and schedules the next. It runs on the pacing
@@ -138,33 +161,53 @@ func (sn *sender) emitFrameLocked() bool {
 	}
 	frame := sn.src.FrameAt(i, level)
 	sn.rtpS.PayloadType = sn.src.PayloadType(level)
-	frags := media.Fragments(frame.Size)
-	payload := media.Payload(sn.stream.ID, i, frame.Size)
-	off := 0
-	for fi, fsize := range frags {
+
+	// Frame body: a cached still body when the source keeps one, otherwise
+	// synthesized into the sender's reusable scratch (which grows once to
+	// the stream's largest frame and is then allocation-free).
+	payload := []byte(nil)
+	if sn.cached != nil {
+		payload = sn.cached.CachedPayload(i, frame.Level)
+	}
+	if payload == nil {
+		sn.scratch = media.AppendPayload(sn.scratch[:0], sn.stream.ID, i, frame.Size)
+		payload = sn.scratch
+	}
+
+	// Single-pass packet assembly: RTP header, frame header and payload
+	// fragment are appended into one pooled buffer, handed to the transport
+	// (which, per the netsim.Net ownership rule, borrows it only for the
+	// duration of Send) and immediately recycled.
+	fragCount := media.FragmentCount(frame.Size)
+	reliable := sn.reliable()
+	for fi := 0; fi < fragCount; fi++ {
+		off, fsize := media.FragmentSpan(frame.Size, fi)
+		pb := pktPool.Get(rtp.HeaderSize + media.FrameHeaderSize + fsize)
+		buf := sn.rtpS.AppendNext(pb.B[:0], frame.PTS, fi == fragCount-1, media.FrameHeaderSize+fsize)
 		hdr := media.FrameHeader{
 			Index:     uint32(i),
 			Level:     uint8(frame.Level),
 			Kind:      frame.Kind,
 			Frag:      uint16(fi),
-			FragCount: uint16(len(frags)),
+			FragCount: uint16(fragCount),
 			FrameSize: uint32(frame.Size),
 		}
-		data := hdr.Marshal(payload[off : off+fsize])
-		off += fsize
-		pkt := sn.rtpS.Next(frame.PTS, data, fi == len(frags)-1)
+		buf = hdr.AppendTo(buf)
+		buf = append(buf, payload[off:off+fsize]...)
+		pb.B = buf
 		sn.packetsSent++
-		sn.bytesSent += int64(len(data))
+		sn.bytesSent += int64(media.FrameHeaderSize + fsize)
 		sn.srv.net.Send(netsim.Packet{
-			From:     netsim.MakeAddr(sn.srv.Name, mediaPort),
+			From:     sn.from,
 			To:       sn.to,
-			Payload:  pkt.Marshal(),
-			Reliable: sn.reliable(),
+			Payload:  buf,
+			Reliable: reliable,
 		})
+		pktPool.Put(pb)
 	}
 	sn.framesSent++
 	sn.srv.mFrames.Inc()
-	sn.srv.mPackets.Add(int64(len(frags)))
+	sn.srv.mPackets.Add(int64(fragCount))
 	sn.srv.mBytes.Add(int64(frame.Size))
 	return true
 }

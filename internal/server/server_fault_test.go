@@ -47,11 +47,13 @@ func newFaultHarness(t *testing.T, opts Options) *faultHarness {
 	net.Listen(fakeClient, func(p netsim.Packet) {
 		mt, reqID, body, err := protocol.DecodeReq(p.Payload)
 		if err == nil {
+			// body views p.Payload, which the simulator recycles after this
+			// handler returns: keep a copy.
 			h.replies = append(h.replies, struct {
 				mt    protocol.MsgType
 				reqID uint32
 				body  []byte
-			}{mt, reqID, body})
+			}{mt, reqID, append([]byte(nil), body...)})
 		}
 	})
 	return h

@@ -102,10 +102,12 @@ func newHarness(t *testing.T, opts Options) *harness {
 	net.Listen(fakeClient, func(p netsim.Packet) {
 		mt, body, err := protocol.Decode(p.Payload)
 		if err == nil {
+			// body views p.Payload, which the simulator recycles after this
+			// handler returns: keep a copy.
 			h.replies = append(h.replies, struct {
 				mt   protocol.MsgType
 				body []byte
-			}{mt, body})
+			}{mt, append([]byte(nil), body...)})
 		}
 	})
 	return h
