@@ -1,16 +1,24 @@
 # Repo checks. `make check` is the full gate: vet + build + tests plus the
 # race detector over the concurrency-heavy packages (live transport, the
 # network simulator, telemetry, the playout scheduler, the wire codecs and
-# buffer pooling of the media path, and both control-plane endpoints); the
+# buffer pooling of the media path, and both control-plane endpoints —
+# internal/server includes a connect/disconnect churn stress that drives
+# the sharded session state, dedup rings and timer wheels from concurrent
+# goroutines); the
 # allocation regression tests in internal/server ride along in `test`.
 # `make chaos` runs the fault-injection suite on its own, with the pinned
 # seed and the race detector. `make bench-dataplane` measures the server
 # media data plane (with -benchmem allocation reporting) and writes
-# BENCH_dataplane.json.
+# BENCH_dataplane.json. `make bench-controlplane` measures session
+# establishment under duplicate-fire connect storms, heartbeat throughput
+# and the timer-wheel sweep cost at 1k/10k/100k resident sessions, writes
+# BENCH_controlplane.json, and fails if the per-tick sweep cost is not
+# sublinear in resident sessions (the gate lives in
+# internal/experiments/ctrlbench.go).
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-dataplane
+.PHONY: check vet build test race chaos bench-dataplane bench-controlplane
 
 check: vet build test race
 
@@ -32,3 +40,7 @@ chaos:
 bench-dataplane:
 	$(GO) test -bench BenchmarkDataPlane -benchmem -run '^$$' ./internal/server/
 	$(GO) run ./cmd/experiments -dataplane BENCH_dataplane.json
+
+bench-controlplane:
+	$(GO) test -bench BenchmarkControlPlane -benchmem -benchtime 1x -run '^$$' ./internal/server/
+	$(GO) run ./cmd/experiments -controlplane BENCH_controlplane.json

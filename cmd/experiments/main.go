@@ -23,7 +23,28 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. F2,E3); empty = all")
 	dataplane := flag.String("dataplane", "", "run the data-plane load benchmark and write its JSON results to this path")
+	controlplane := flag.String("controlplane", "", "run the control-plane load benchmark and write its JSON results to this path")
 	flag.Parse()
+
+	if *controlplane != "" {
+		tb, results, err := experiments.ControlPlane(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "controlplane FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "controlplane FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*controlplane, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "controlplane FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+		fmt.Printf("wrote %s\n", *controlplane)
+		return
+	}
 
 	if *dataplane != "" {
 		tb, results, err := experiments.DataPlane(nil)

@@ -371,3 +371,45 @@ func TestChaosDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestStaleHeartbeatKeepsSession pins the heartbeat-mismatch fix: a beat
+// carrying a stale SessionID from an address that holds a live session (a
+// delayed frame from before a reconnect, or a client racing a resume) must
+// not be acked OK=false — that ack means "I don't know you" and sends a
+// perfectly healthy client into suspend and failover. The server must
+// recognize the live session behind the address, ack OK=true with the
+// session's current ID, and count the mismatch.
+func TestStaleHeartbeatKeepsSession(t *testing.T) {
+	w := newWorld(t,
+		server.Options{Grace: 20 * time.Second, HeartbeatEvery: time.Second, LivenessMisses: 3},
+		client.Options{},
+		"srv-a", "srv-b")
+	w.connectAndPlay(t, "srv-a")
+
+	// Forge a heartbeat from the client's control address with a session
+	// ID the server never issued.
+	w.net.Send(netsim.Packet{
+		From:     netsim.MakeAddr("laptop", 6000),
+		To:       netsim.MakeAddr("srv-a", server.ControlPort),
+		Payload:  protocol.MustEncode(protocol.MsgHeartbeat, protocol.Heartbeat{SessionID: "srv-a-sess-9999"}),
+		Reliable: true,
+	})
+	w.run(5 * time.Second)
+
+	if got := w.scopes["srv-a"].Counter("server_stale_heartbeats").Value(); got == 0 {
+		t.Fatal("server did not count the stale heartbeat")
+	}
+	// Pre-fix, the OK=false ack made the client declare srv-a dead.
+	if got := w.cscope.Counter("client_liveness_losses").Value(); got != 0 {
+		t.Fatalf("client_liveness_losses = %d, want 0: a stale heartbeat must not read as a dead server", got)
+	}
+	if got := w.cscope.Counter("client_failovers").Value(); got != 0 {
+		t.Fatalf("client_failovers = %d, want 0", got)
+	}
+	if got := w.cscope.Counter("client_sessions_resumed").Value(); got != 0 {
+		t.Fatalf("client_sessions_resumed = %d, want 0 (no spurious recovery)", got)
+	}
+	if st := w.c.State("srv-a"); st != protocol.StViewing {
+		t.Fatalf("state after stale heartbeat = %v, want viewing", st)
+	}
+}

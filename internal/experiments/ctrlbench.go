@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// ControlPlane runs the server control-plane load harness at each resident
+// session count and tabulates connect-storm throughput, heartbeat
+// throughput and the liveness sweep's per-tick cost. The results back
+// BENCH_controlplane.json. The harness itself enforces the storm
+// invariants (exactly one admission decision per client, ≤ 1 dedup ring
+// per client, no reply lost); this gate additionally pins the timer-wheel
+// claim: the per-tick sweep cost must stay roughly flat — measurably
+// sublinear — as resident sessions grow.
+func ControlPlane(sessions []int) (*stats.Table, []server.ControlPlaneResult, error) {
+	if len(sessions) == 0 {
+		sessions = []int{1_000, 10_000, 100_000}
+	}
+	tb := stats.NewTable("BENCH — control plane: sharded sessions, dedup storms, timer-wheel sweeps",
+		"sessions", "dup", "connects/s", "ctrl reqs/s", "heartbeats/s",
+		"sweep µs/tick", "dedup rings", "lock held µs")
+	var out []server.ControlPlaneResult
+	for _, n := range sessions {
+		res, err := server.RunControlPlaneLoad(server.ControlPlaneConfig{
+			Sessions:  n,
+			DupFactor: 3,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("controlplane sessions=%d: %w", n, err)
+		}
+		tb.AddRow(res.Sessions, res.DupFactor,
+			fmt.Sprintf("%.0f", res.ConnectsPerSec),
+			fmt.Sprintf("%.0f", res.CtrlReqsPerSec),
+			fmt.Sprintf("%.0f", res.HeartbeatsPerSec),
+			fmt.Sprintf("%.1f", res.SweepTickMicros),
+			res.DedupRings,
+			res.LockHeldMicros)
+		out = append(out, res)
+	}
+	// Sublinearity gate: across a 100× growth in resident sessions the
+	// sweep tick must not grow even 20× (the old full-map sweep grew
+	// ~100×). A floor absorbs scheduler noise at the microsecond scale.
+	first, last := out[0], out[len(out)-1]
+	if len(out) > 1 && last.Sessions > first.Sessions {
+		floor := first.SweepTickMicros
+		if floor < 25 {
+			floor = 25
+		}
+		if last.SweepTickMicros > 20*floor {
+			return nil, nil, fmt.Errorf(
+				"controlplane: sweep tick grew from %.1fµs (%d sessions) to %.1fµs (%d sessions); not sublinear",
+				first.SweepTickMicros, first.Sessions, last.SweepTickMicros, last.Sessions)
+		}
+	}
+	return tb, out, nil
+}

@@ -121,6 +121,15 @@ type Admission struct {
 	capacity float64
 	nextID   int
 	conns    map[int]*reservation
+	// reserved is the running sum of every reservation's rate, maintained
+	// incrementally on admit/release/squeeze/renegotiate so evaluating a
+	// request is O(1) in the number of resident connections — a connect
+	// storm of N clients costs O(N), not O(N²).
+	reserved float64
+	// decisions counts every verdict rendered (admitted + degraded +
+	// rejected across classes); the control-plane load harness asserts
+	// exactly one per storm client.
+	decisions int64
 	// counters
 	admitted, degraded, rejected map[PricingClass]int
 	obs                          *obs.Scope
@@ -181,12 +190,13 @@ func (a *Admission) Reserved() float64 {
 	return a.reservedLocked()
 }
 
-func (a *Admission) reservedLocked() float64 {
-	sum := 0.0
-	for _, r := range a.conns {
-		sum += r.rate
-	}
-	return sum
+func (a *Admission) reservedLocked() float64 { return a.reserved }
+
+// Decisions returns the total number of admission verdicts rendered.
+func (a *Admission) Decisions() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.decisions
 }
 
 // Utilization returns reserved/capacity.
@@ -211,6 +221,7 @@ func (a *Admission) Request(req ConnRequest) Decision {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	d := a.requestLocked(req)
+	a.decisions++
 	a.recordDecisionLocked(req, d)
 	return d
 }
@@ -290,6 +301,7 @@ func (a *Admission) squeezeLocked(need float64) ([]int, float64) {
 				cut = need - freed
 			}
 			r.rate -= cut
+			a.reserved -= cut
 			freed += cut
 			squeezed = append(squeezed, id)
 		}
@@ -309,6 +321,7 @@ func (a *Admission) admitLocked(req ConnRequest, rate float64, squeezed []int) D
 	a.nextID++
 	r := &reservation{id: a.nextID, user: req.User, class: req.Class, rate: rate, minRate: req.MinRate}
 	a.conns[r.id] = r
+	a.reserved += rate
 	return Decision{Rate: rate, ConnID: r.id, Squeezed: squeezed}
 }
 
@@ -329,6 +342,7 @@ func (a *Admission) Renegotiate(connID int, newRate float64) (float64, bool) {
 		newRate = r.minRate
 	}
 	if newRate <= r.rate {
+		a.reserved -= r.rate - newRate
 		r.rate = newRate
 		return r.rate, true
 	}
@@ -341,6 +355,7 @@ func (a *Admission) Renegotiate(connID int, newRate float64) (float64, bool) {
 	if grant < r.rate {
 		grant = r.rate
 	}
+	a.reserved += grant - r.rate
 	r.rate = grant
 	return r.rate, grant == newRate
 }
@@ -349,7 +364,17 @@ func (a *Admission) Renegotiate(connID int, newRate float64) (float64, bool) {
 func (a *Admission) Release(connID int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	r, ok := a.conns[connID]
+	if !ok {
+		return
+	}
+	a.reserved -= r.rate
 	delete(a.conns, connID)
+	if len(a.conns) == 0 {
+		// Snap accumulated float error back to exactly zero on an empty
+		// pool, so "everything released" reads as reserved == 0.
+		a.reserved = 0
+	}
 }
 
 // Rate returns a connection's current granted rate (0 if unknown) — it may

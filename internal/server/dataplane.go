@@ -19,8 +19,9 @@ import (
 // This file is the data-plane load harness: it stands up one server with N
 // sessions playing a multi-stream document and measures the media emit path
 // in two phases. The paced phase drives the virtual clock so every sender
-// fires on its flow-scenario timer, and samples the server-wide lock meter
-// across the window to prove per-frame emission never touches srv.mu. The
+// fires on its flow-scenario timer, and samples the control-plane lock
+// meters (summed across shards) across the window to prove per-frame
+// emission never touches a shard's write lock. The
 // pump phase drives each sender back-to-back from its own goroutine against
 // a counting sink transport, measuring genuine parallel throughput and the
 // per-frame emit service time whose tail is the pacing-jitter bound: a frame
@@ -59,7 +60,7 @@ type DataPlaneResult struct {
 
 	// Paced phase: virtual-clock pacing over PacedWindow.
 	PacedFrames   int64 `json:"paced_frames"`
-	PacedLockAcqs int64 `json:"paced_lock_acqs"` // srv.mu acquisitions during pacing; must be 0
+	PacedLockAcqs int64 `json:"paced_lock_acqs"` // shard write-lock acquisitions during pacing; must be 0
 
 	// Allocation footprint (runtime.MemStats deltas over each phase divided
 	// by its frames). The steady-state emit path is pooled and append-style,
@@ -177,13 +178,16 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 	// Collect the senders. Time-sensitive ones are the sustained load; the
 	// stills finish after their single frame.
 	var all []*sender
-	srv.mu.Lock()
-	for _, sess := range srv.sessions {
-		for _, snd := range sess.senders {
-			all = append(all, snd)
+	for i := range srv.shards {
+		sh := &srv.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			for _, snd := range sess.senders {
+				all = append(all, snd)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	srv.mu.Unlock()
 	res.Senders = len(all)
 
 	sumStats := func() (frames, packets int64, bytes int64) {
@@ -210,7 +214,7 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 
 	// Paced phase: advance the virtual clock and let the flow-scenario
 	// timers emit. Everything that fires in this window is a sender timer,
-	// so the lock-meter delta is exactly the emit path's srv.mu footprint —
+	// so the lock-meter delta is exactly the emit path's shard-lock footprint —
 	// and the allocation delta is the pacing loop's footprint.
 	preFrames, _, _ := sumStats()
 	preAcqs, _ := srv.LockStats()

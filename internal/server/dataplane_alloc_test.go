@@ -46,15 +46,15 @@ func allocHarness(t *testing.T) (*clock.Virtual, *sender) {
 		Reliable: true,
 	})
 	var sn *sender
-	srv.mu.Lock()
-	for _, sess := range srv.sessions {
+	sess, unlock := srv.lockedSession(client)
+	if sess != nil {
 		for _, snd := range sess.senders {
 			if snd.stream.Type.TimeSensitive() {
 				sn = snd
 			}
 		}
 	}
-	srv.mu.Unlock()
+	unlock()
 	if sn == nil {
 		t.Fatal("no time-sensitive sender stood up")
 	}

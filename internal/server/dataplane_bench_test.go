@@ -21,7 +21,7 @@ func makeCtrlPacket(mt protocol.MsgType, body interface{}) netsim.Packet {
 
 // BenchmarkDataPlane measures parallel emit throughput at 1, 8 and 64
 // sessions; frames/s should grow with session count because senders pace
-// off their own locks, not srv.mu.
+// off their own locks, not the control-plane shard locks.
 func BenchmarkDataPlane(b *testing.B) {
 	for _, sessions := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
@@ -48,9 +48,9 @@ func BenchmarkDataPlane(b *testing.B) {
 	}
 }
 
-// TestDataPlaneEmitOffGlobalLock is the PR's core invariant: during a paced
-// emit window the server-wide lock is never taken — media pacing runs
-// entirely on per-sender locks plus the QoS manager's read lock.
+// TestDataPlaneEmitOffGlobalLock is the data plane's core invariant: during
+// a paced emit window no control-plane shard write lock is taken — media
+// pacing runs entirely on per-sender locks plus the QoS manager's read lock.
 func TestDataPlaneEmitOffGlobalLock(t *testing.T) {
 	res, err := RunDataPlaneLoad(DataPlaneConfig{Sessions: 4, FramesPerSender: 50})
 	if err != nil {
@@ -60,7 +60,7 @@ func TestDataPlaneEmitOffGlobalLock(t *testing.T) {
 		t.Fatal("paced phase emitted nothing; the window measured no traffic")
 	}
 	if res.PacedLockAcqs != 0 {
-		t.Fatalf("srv.mu acquired %d times during paced emission of %d frames; "+
+		t.Fatalf("shard write locks acquired %d times during paced emission of %d frames; "+
 			"the per-frame path must stay off the global lock",
 			res.PacedLockAcqs, res.PacedFrames)
 	}
@@ -78,17 +78,16 @@ func TestDataPlaneRaceStress(t *testing.T) {
 	h.send(protocol.MsgConnect, protocol.Connect{User: "u", Password: "p"})
 	h.send(protocol.MsgDocRequest, protocol.DocRequest{Name: "doc"})
 
-	h.srv.mu.Lock()
-	sess := h.srv.sessions[string(fakeClient)]
+	sess, unlock := h.srv.lockedSession(fakeClient)
 	if sess == nil {
-		h.srv.mu.Unlock()
+		unlock()
 		t.Fatal("no session")
 	}
 	snds := make([]*sender, 0, len(sess.senders))
 	for _, snd := range sess.senders {
 		snds = append(snds, snd)
 	}
-	h.srv.mu.Unlock()
+	unlock()
 	if len(snds) == 0 {
 		t.Fatal("no senders")
 	}
@@ -118,7 +117,7 @@ func TestDataPlaneRaceStress(t *testing.T) {
 			for _, mt := range ops {
 				h.srv.handle(makeCtrlPacket(mt, protocol.MediaOp{}))
 			}
-			h.srv.renegotiateSession(sess)
+			h.srv.queueRenegotiate(sess)
 		}
 	}()
 	wg.Wait()

@@ -30,12 +30,17 @@ var pktPool buffer.Pool
 // Concurrency: the sender is the isolated hot loop of the data plane. All of
 // its mutable state sits behind its own small mutex, and the per-frame emit
 // path — QoS level snapshot, frame encode, fragmentation, transport send —
-// runs entirely under that lock, never under the server-wide srv.mu. Control
-// operations (pause/resume/restart/disable/stop) take the same per-sender
-// lock, so one session's media pacing neither serializes with other
-// sessions' streams nor with the control plane. Lock order is srv.mu →
-// sn.mu: control handlers may call sender methods while holding srv.mu, but
-// no sender method ever acquires srv.mu.
+// runs entirely under that lock, never under a control-plane shard lock.
+// Control operations (pause/resume/restart/disable/stop) take the same
+// per-sender lock, so one session's media pacing neither serializes with
+// other sessions' streams nor with the control plane.
+//
+// Lock-order rules (see also the shard.go header for the full hierarchy):
+// shard.mu → sn.mu. Control handlers may call sender methods while holding
+// the owning session's shard lock, but no sender method ever acquires a
+// shard lock — sn.mu is a leaf. A sender that needs server state (e.g. the
+// obs scope, the transport) reads only immutable fields captured at
+// construction.
 type sender struct {
 	// Immutable after construction.
 	srv    *Server

@@ -9,13 +9,10 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/clock"
-	"repro/internal/media"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/qos"
-	"repro/internal/rtp"
-	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -73,41 +70,10 @@ func (o *Options) fill() {
 	}
 }
 
-// lockMeter is the server's control-plane mutex, instrumented so the
-// data-plane benchmark can prove the per-frame emit path never touches it:
-// it counts acquisitions and accumulates wall-clock hold time. The two
-// time.Now calls per acquisition cost tens of nanoseconds on control-plane
-// operations that each do map work and I/O — negligible — and buy a direct
-// measurement of global-lock pressure.
-type lockMeter struct {
-	mu       sync.Mutex
-	acqs     atomic.Int64
-	heldNS   atomic.Int64
-	lockedAt time.Time // guarded by mu: written after Lock, read before Unlock
-}
-
-// Lock acquires the control-plane lock.
-func (m *lockMeter) Lock() {
-	m.mu.Lock()
-	m.acqs.Add(1)
-	m.lockedAt = time.Now()
-}
-
-// Unlock releases the control-plane lock, accounting the hold.
-func (m *lockMeter) Unlock() {
-	m.heldNS.Add(int64(time.Since(m.lockedAt)))
-	m.mu.Unlock()
-}
-
-// Stats returns the acquisition count and cumulative hold time.
-func (m *lockMeter) Stats() (acqs int64, held time.Duration) {
-	return m.acqs.Load(), time.Duration(m.heldNS.Load())
-}
-
-// Server is one multimedia server node.
+// Server is one multimedia server node. Session and dedup state is split
+// across address-hashed shards (see shard.go for the layout and the lock
+// order); everything else sits behind small dedicated leaf locks.
 type Server struct {
-	mu lockMeter
-
 	// Name is the server's host name on the network.
 	Name string
 
@@ -118,34 +84,24 @@ type Server struct {
 	adm   *qos.Admission
 	opts  Options
 
-	peers []string // other servers' host names for federated search
+	shards [ctrlShards]ctrlShard
 
-	sessions  map[string]*session // keyed by client control address
-	byToken   map[string]*session
-	byID      map[string]*session // keyed by session ID, for ResumeSession recovery
-	nextID    int
-	nextSSRC  uint32
+	// sessionCount mirrors the total resident sessions across shards so
+	// Sessions() and the sessions gauge never touch a shard lock.
+	sessionCount atomic.Int64
+	nextID       atomic.Int64
+	nextSSRC     atomic.Uint32
+
+	peersMu sync.RWMutex
+	peers   []string // other servers' host names for federated search
+
+	searchMu  sync.Mutex
 	nextQuery int
 	searches  map[int]*pendingSearch
 
-	// dedup caches, per client control address, the replies to recently
-	// handled request IDs so retransmitted requests are answered
-	// idempotently instead of re-running their side effects. It has its
-	// own lock so replies can be cached while handlers hold mu (lock
-	// order mu → dmu; never the reverse). Rings for clients that never
-	// obtained a session (auth/admission rejects) are reaped by a TTL
-	// sweep so a reject storm cannot grow the map without bound.
-	dmu          sync.Mutex
-	dedup        map[string]*dedupRing
-	dedupSweepOn bool
-	// sweepOn tracks whether the liveness sweep timer is armed; it arms
-	// lazily on the first heartbeat and disarms when no heartbeat-capable
-	// session remains, so sessions driven by raw packets (tests, old
-	// clients) are never liveness-policed.
-	sweepOn bool
-
 	// annotations holds user remarks per document name ("the user may
 	// also annotate the selected document with his own remarks").
+	annMu       sync.Mutex
 	annotations map[string][]protocol.AnnotationRecord
 
 	// Data-plane counters, resolved once at construction so the per-frame
@@ -177,6 +133,14 @@ type session struct {
 	// until the first one: such sessions are exempt from the liveness
 	// sweep).
 	lastBeat time.Time
+
+	// shard is the index of the ctrlShard currently holding the session;
+	// it changes only under both the old and the new shard's lock (see
+	// lockSession). lwPos is the session's slot on that shard's liveness
+	// wheel; renegQueued dedups the shard's renegotiation batch.
+	shard       atomic.Int32
+	lwPos       wheelPos
+	renegQueued atomic.Bool
 }
 
 type pendingSearch struct {
@@ -200,13 +164,24 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 		users:       users,
 		adm:         qos.NewAdmission(opts.Capacity),
 		opts:        opts,
-		sessions:    map[string]*session{},
-		byToken:     map[string]*session{},
-		byID:        map[string]*session{},
-		dedup:       map[string]*dedupRing{},
 		searches:    map[int]*pendingSearch{},
 		annotations: map[string][]protocol.AnnotationRecord{},
-		nextSSRC:    1000,
+	}
+	s.nextSSRC.Store(1000)
+	now := clk.Now()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.sessions = map[string]*session{}
+		sh.byToken = map[string]*session{}
+		sh.byID = map[string]*session{}
+		sh.dedup = map[string]*dedupRing{}
+		// Liveness deadlines span the miss window; ring TTLs span dedupTTL.
+		// Bucket counts cover each wheel's horizon with one slot of slack
+		// (the wrap-around re-check in advance handles anything longer).
+		sh.live = newWheel(now, opts.HeartbeatEvery, opts.LivenessMisses+2,
+			func(sess *session) *wheelPos { return &sess.lwPos })
+		sh.rings = newWheel(now, dedupTTL/2, 4,
+			func(r *dedupRing) *wheelPos { return &r.pos })
 	}
 	s.adm.SetObs(opts.Obs)
 	s.mFrames = opts.Obs.Counter("server_media_frames_sent")
@@ -218,19 +193,20 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 	return s, nil
 }
 
-// LockStats reports how many times the server-wide control-plane lock has
-// been taken and its cumulative wall-clock hold time. The data-plane
-// benchmark samples it around the emit phase to prove media pacing runs
-// entirely off this lock.
-func (s *Server) LockStats() (acqs int64, held time.Duration) { return s.mu.Stats() }
-
 func (s *Server) ctrlAddr() netsim.Addr { return netsim.MakeAddr(s.Name, ControlPort) }
 
 // SetPeers configures the other servers for federated search.
 func (s *Server) SetPeers(names []string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
 	s.peers = append([]string(nil), names...)
+}
+
+// peerList snapshots the federated-search peer set.
+func (s *Server) peerList() []string {
+	s.peersMu.RLock()
+	defer s.peersMu.RUnlock()
+	return append([]string(nil), s.peers...)
 }
 
 // Database exposes the server's document store.
@@ -238,104 +214,6 @@ func (s *Server) Database() *Database { return s.db }
 
 // Admission exposes the admission controller (for experiments).
 func (s *Server) Admission() *qos.Admission { return s.adm }
-
-// Sessions returns the number of live sessions.
-func (s *Server) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
-}
-
-// QoSManager returns the grading manager of the session attached to the
-// given client address (nil when unknown); used by experiments to inspect
-// quality trajectories.
-func (s *Server) QoSManager(client netsim.Addr) *qos.Manager {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sess, ok := s.sessions[string(client)]; ok {
-		return sess.qosMgr
-	}
-	return nil
-}
-
-// dedupCap bounds the per-client reply cache.
-const dedupCap = 64
-
-// dedupTTL is how long a reply cache for a client without a session is kept
-// after its last use. Clients whose connect was rejected (bad credentials,
-// admission refusal) get a ring but never a session, so only this sweep
-// frees them; rings of live or suspended sessions are exempt and are
-// deleted with the session instead.
-const dedupTTL = 2 * time.Minute
-
-// dedupRing is a bounded per-client cache of request IDs and their encoded
-// replies. A nil frame marks a request still being handled (in flight):
-// its duplicates are dropped silently rather than re-executed.
-type dedupRing struct {
-	entries  map[uint32][]byte
-	order    []uint32
-	lastUsed time.Time
-}
-
-// get returns the cached reply frame and whether the request ID was seen.
-func (r *dedupRing) get(reqID uint32) ([]byte, bool) {
-	frame, seen := r.entries[reqID]
-	return frame, seen
-}
-
-// put records (or completes) a request ID, evicting the oldest when full.
-func (r *dedupRing) put(reqID uint32, frame []byte) {
-	if _, seen := r.entries[reqID]; !seen {
-		if len(r.order) >= dedupCap {
-			delete(r.entries, r.order[0])
-			r.order = r.order[1:]
-		}
-		r.order = append(r.order, reqID)
-	}
-	r.entries[reqID] = frame
-}
-
-// dedupRingLocked returns the client's reply cache, refreshing its TTL and
-// lazily arming the sessionless-ring sweep; caller holds dmu.
-func (s *Server) dedupRingLocked(client string) *dedupRing {
-	ring, ok := s.dedup[client]
-	if !ok {
-		ring = &dedupRing{entries: map[uint32][]byte{}}
-		s.dedup[client] = ring
-		if !s.dedupSweepOn {
-			s.dedupSweepOn = true
-			s.clk.AfterFunc(dedupTTL, s.sweepDedup)
-		}
-	}
-	ring.lastUsed = s.clk.Now()
-	return ring
-}
-
-// sweepDedup evicts reply caches of clients that hold no session and have
-// been idle past the TTL. It snapshots the session-keyed addresses under mu
-// first and prunes under dmu second, matching the mu → dmu lock order of the
-// handler path.
-func (s *Server) sweepDedup() {
-	s.mu.Lock()
-	live := make(map[string]bool, len(s.sessions))
-	for addr := range s.sessions {
-		live[addr] = true
-	}
-	s.mu.Unlock()
-	now := s.clk.Now()
-	s.dmu.Lock()
-	for addr, ring := range s.dedup {
-		if !live[addr] && now.Sub(ring.lastUsed) >= dedupTTL {
-			delete(s.dedup, addr)
-		}
-	}
-	if len(s.dedup) > 0 {
-		s.clk.AfterFunc(dedupTTL, s.sweepDedup)
-	} else {
-		s.dedupSweepOn = false
-	}
-	s.dmu.Unlock()
-}
 
 // reply sends a fire-and-forget control message (request ID 0).
 func (s *Server) reply(to netsim.Addr, t protocol.MsgType, body interface{}) {
@@ -347,9 +225,11 @@ func (s *Server) reply(to netsim.Addr, t protocol.MsgType, body interface{}) {
 func (s *Server) replyReq(to netsim.Addr, reqID uint32, t protocol.MsgType, body interface{}) {
 	frame := protocol.MustEncodeReq(t, reqID, body)
 	if reqID != 0 {
-		s.dmu.Lock()
-		s.dedupRingLocked(string(to)).put(reqID, frame)
-		s.dmu.Unlock()
+		si := shardIndex(string(to))
+		sh := &s.shards[si]
+		sh.dmu.Lock()
+		s.dedupRingLocked(sh, si, string(to)).put(reqID, frame)
+		sh.dmu.Unlock()
 	}
 	s.sendCtrl(to, frame)
 }
@@ -369,169 +249,6 @@ func (s *Server) sendCtrl(to netsim.Addr, frame []byte) {
 	}
 }
 
-// dedupable reports whether a message type is a client request whose
-// handling must be idempotent under retransmission.
-func dedupable(mt protocol.MsgType) bool {
-	switch mt {
-	case protocol.MsgConnect, protocol.MsgSubscribe, protocol.MsgTopicList,
-		protocol.MsgSearch, protocol.MsgDocRequest, protocol.MsgSuspend,
-		protocol.MsgListAnnotations, protocol.MsgStatsRequest:
-		return true
-	}
-	return false
-}
-
-// handle dispatches one control packet.
-func (s *Server) handle(pkt netsim.Packet) {
-	mt, reqID, body, err := protocol.DecodeReq(pkt.Payload)
-	if err != nil {
-		return
-	}
-	if reqID != 0 && dedupable(mt) {
-		s.dmu.Lock()
-		ring := s.dedupRingLocked(string(pkt.From))
-		if frame, seen := ring.get(reqID); seen {
-			s.dmu.Unlock()
-			s.opts.Obs.Counter("server_ctrl_dedup_hits").Inc()
-			s.opts.Obs.Emit(obs.EvCtrlDedup, string(pkt.From), int64(reqID), "duplicate "+mt.String())
-			if frame != nil {
-				// The reply is known: re-send it without re-running the
-				// handler. A nil frame means the original is still in
-				// flight, so the duplicate is simply dropped.
-				s.sendCtrl(pkt.From, frame)
-			}
-			return
-		}
-		ring.put(reqID, nil)
-		s.dmu.Unlock()
-	}
-	switch mt {
-	case protocol.MsgConnect:
-		var m protocol.Connect
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onConnect(pkt.From, reqID, m)
-		}
-	case protocol.MsgSubscribe:
-		var m protocol.SubscriptionForm
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onSubscribe(pkt.From, reqID, m)
-		}
-	case protocol.MsgTopicList:
-		s.replyReq(pkt.From, reqID, protocol.MsgTopics, protocol.Topics{Topics: s.db.Topics(s.Name)})
-	case protocol.MsgSearch:
-		var m protocol.Search
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onSearch(pkt.From, reqID, m)
-		}
-	case protocol.MsgSearchResult:
-		var m protocol.SearchResult
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onSearchResult(m)
-		}
-	case protocol.MsgDocRequest:
-		var m protocol.DocRequest
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onDocRequest(pkt.From, reqID, m)
-		}
-	case protocol.MsgHeartbeat:
-		var m protocol.Heartbeat
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onHeartbeat(pkt.From, m)
-		}
-	case protocol.MsgFeedback:
-		var m protocol.Feedback
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onFeedback(pkt.From, m)
-		}
-	case protocol.MsgPause:
-		s.onMediaOp(pkt.From, mt, protocol.MediaOp{})
-	case protocol.MsgResume:
-		s.onMediaOp(pkt.From, mt, protocol.MediaOp{})
-	case protocol.MsgReload:
-		s.onMediaOp(pkt.From, mt, protocol.MediaOp{})
-	case protocol.MsgDisableMedia:
-		var m protocol.MediaOp
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onMediaOp(pkt.From, mt, m)
-		}
-	case protocol.MsgAnnotate:
-		// Annotations are accepted and logged with the access trail.
-		var m protocol.Annotate
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onAnnotate(pkt.From, m)
-		}
-	case protocol.MsgListAnnotations:
-		var m protocol.ListAnnotations
-		if protocol.DecodeBody(body, &m) == nil {
-			s.onListAnnotations(pkt.From, reqID, m)
-		}
-	case protocol.MsgSuspend:
-		s.onSuspend(pkt.From, reqID)
-	case protocol.MsgDisconnect:
-		s.onDisconnect(pkt.From)
-	case protocol.MsgStatsRequest:
-		s.onStats(pkt.From, reqID)
-	}
-}
-
-// onHeartbeat refreshes the session's liveness deadline and acks. An ack
-// with OK=false tells the client this server holds no such session — the
-// fast path to failover after a server restart.
-func (s *Server) onHeartbeat(from netsim.Addr, m protocol.Heartbeat) {
-	s.mu.Lock()
-	sess, ok := s.sessions[string(from)]
-	if ok && !sess.suspended && (m.SessionID == "" || m.SessionID == sess.id) {
-		sess.lastBeat = s.clk.Now()
-		s.ensureSweepLocked()
-		id := sess.id
-		s.mu.Unlock()
-		s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{OK: true, SessionID: id})
-		return
-	}
-	s.mu.Unlock()
-	s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{OK: false})
-}
-
-// ensureSweepLocked arms the liveness sweep if it is not already running.
-func (s *Server) ensureSweepLocked() {
-	if s.sweepOn {
-		return
-	}
-	s.sweepOn = true
-	s.clk.AfterFunc(s.opts.HeartbeatEvery, s.sweepLiveness)
-}
-
-// sweepLiveness auto-suspends every heartbeat-capable session whose client
-// has gone silent past the miss budget; the ordinary grace timer then
-// decides between resumption and expiry. The sweep re-arms only while a
-// live heartbeat-capable session remains, so an idle server's virtual
-// clock can still drain.
-func (s *Server) sweepLiveness() {
-	s.mu.Lock()
-	now := s.clk.Now()
-	window := time.Duration(s.opts.LivenessMisses) * s.opts.HeartbeatEvery
-	rearm := false
-	for _, sess := range s.sessions {
-		if sess.suspended || sess.lastBeat.IsZero() {
-			continue
-		}
-		if now.Sub(sess.lastBeat) >= window {
-			s.suspendSessionLocked(sess)
-			s.opts.Obs.Counter("server_sessions_suspended_liveness").Inc()
-			s.opts.Obs.Emit(obs.EvLiveness, sess.user, 0,
-				"client silent; session "+sess.id+" auto-suspended")
-		} else {
-			rearm = true
-		}
-	}
-	if rearm {
-		s.clk.AfterFunc(s.opts.HeartbeatEvery, s.sweepLiveness)
-	} else {
-		s.sweepOn = false
-	}
-	s.mu.Unlock()
-}
-
 // onStats answers a sessionless telemetry snapshot request: the registry's
 // sorted metric points plus the shape of the trace ring. With telemetry
 // off it answers OK with no metrics, so monitoring tools can distinguish
@@ -544,143 +261,6 @@ func (s *Server) onStats(from netsim.Addr, reqID uint32) {
 		res.TraceDropped = sc.Trace().Dropped()
 	}
 	s.replyReq(from, reqID, protocol.MsgStatsResult, res)
-}
-
-// connectExtrasLocked fills the recovery parameters every successful
-// ConnectResult carries: the grace window bounding recovery probing, and
-// the replica list for failover.
-func (s *Server) connectExtrasLocked(res *protocol.ConnectResult) {
-	res.GraceSecs = int(s.opts.Grace.Seconds())
-	res.Peers = append([]string(nil), s.peers...)
-}
-
-// reattachSessionLocked moves a (possibly suspended) session to a client
-// address and restarts its paused media. Shared by the voluntary
-// resume-token path and the liveness-recovery ResumeSession path.
-func (s *Server) reattachSessionLocked(sess *session, from netsim.Addr) {
-	sess.suspended = false
-	if sess.graceTimer != nil {
-		sess.graceTimer.Stop()
-		sess.graceTimer = nil
-	}
-	if sess.resumeToken != "" {
-		delete(s.byToken, sess.resumeToken)
-		sess.resumeToken = ""
-	}
-	delete(s.sessions, string(sess.client))
-	sess.client = from
-	s.sessions[string(from)] = sess
-	// Resume-before-expiry restores every paused sender, and a fresh
-	// liveness deadline keeps the sweep from instantly re-suspending.
-	sess.lastBeat = s.clk.Now()
-	for _, snd := range sess.senders {
-		snd.resume()
-	}
-	if len(sess.senders) > 0 {
-		if sess.srTimer != nil {
-			sess.srTimer.Stop()
-		}
-		sess.srTimer = s.clk.AfterFunc(5*time.Second, func() { s.sendSenderReports(sess) })
-	}
-}
-
-func (s *Server) onConnect(from netsim.Addr, reqID uint32, m protocol.Connect) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clk.Now()
-
-	// Returning to a suspended session within the grace period skips
-	// authentication and admission entirely.
-	if m.ResumeToken != "" {
-		sess, ok := s.byToken[m.ResumeToken]
-		if !ok {
-			s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
-				OK: false, Reason: "resume token expired"})
-			return
-		}
-		s.reattachSessionLocked(sess, from)
-		res := protocol.ConnectResult{OK: true, SessionID: sess.id, Resumed: true}
-		s.connectExtrasLocked(&res)
-		s.replyReq(from, reqID, protocol.MsgConnectResult, res)
-		return
-	}
-
-	// Recovering a session by ID after a liveness loss: the client never
-	// got a resume token because it never chose to leave. If the session
-	// survived (possibly auto-suspended by the sweep), re-attach it;
-	// otherwise tell the client the session is gone so it fails over.
-	if m.ResumeSession != "" {
-		sess, ok := s.byID[m.ResumeSession]
-		if !ok {
-			s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
-				OK: false, SessionLost: true, Reason: "unknown session " + m.ResumeSession})
-			return
-		}
-		wasSuspended := sess.suspended
-		s.reattachSessionLocked(sess, from)
-		s.ensureSweepLocked()
-		if wasSuspended {
-			s.opts.Obs.Counter("server_sessions_resumed").Inc()
-			s.opts.Obs.Emit(obs.EvSessionResume, sess.user, int64(sess.connID),
-				"session "+sess.id+" resumed after liveness loss")
-		}
-		res := protocol.ConnectResult{OK: true, SessionID: sess.id, Resumed: true}
-		s.connectExtrasLocked(&res)
-		s.replyReq(from, reqID, protocol.MsgConnectResult, res)
-		return
-	}
-
-	// Authentication.
-	u, err := s.users.Authenticate(m.User, m.Password, now)
-	if err == auth.ErrUnknownUser {
-		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
-			OK: false, NeedSubscription: true, Reason: "please subscribe"})
-		return
-	}
-	if err != nil {
-		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
-			OK: false, Reason: err.Error()})
-		return
-	}
-
-	// Admission: network condition + connection load + QoS floor +
-	// pricing contract.
-	peak := m.PeakRate
-	if peak <= 0 {
-		peak = 2_000_000
-	}
-	dec := s.adm.Request(qos.ConnRequest{
-		User: m.User, Class: u.Class, PeakRate: peak, MinRate: m.MinRate,
-		Resumed: m.Failover,
-	})
-	if dec.Verdict == qos.Rejected {
-		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
-			OK: false, Reason: dec.Reason})
-		return
-	}
-	s.nextID++
-	sess := &session{
-		id:         fmt.Sprintf("%s-sess-%d", s.Name, s.nextID),
-		user:       m.User,
-		client:     from,
-		connID:     dec.ConnID,
-		floorLevel: m.FloorLevel,
-		qosMgr:     qos.NewManager(s.clk, s.opts.Policy),
-		senders:    map[string]*sender{},
-		ssrcToID:   map[uint32]string{},
-		startedAt:  now,
-	}
-	sess.qosMgr.SetObs(s.opts.Obs)
-	s.sessions[string(from)] = sess
-	s.byID[sess.id] = sess
-	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
-	s.opts.Obs.Emit(obs.EvSessionStart, m.User, int64(dec.ConnID), "session "+sess.id)
-	res := protocol.ConnectResult{
-		OK: true, SessionID: sess.id,
-		GrantedRate: dec.Rate, Degraded: dec.Verdict == qos.AdmittedDegraded,
-	}
-	s.connectExtrasLocked(&res)
-	s.replyReq(from, reqID, protocol.MsgConnectResult, res)
 }
 
 func (s *Server) onSubscribe(from netsim.Addr, reqID uint32, m protocol.SubscriptionForm) {
@@ -704,20 +284,19 @@ func (s *Server) onSearch(from netsim.Addr, reqID uint32, m protocol.Search) {
 		})
 		return
 	}
-	s.mu.Lock()
-	peers := append([]string(nil), s.peers...)
+	peers := s.peerList()
 	if len(peers) == 0 {
-		s.mu.Unlock()
 		s.replyReq(from, reqID, protocol.MsgSearchResult, protocol.SearchResult{Hits: local})
 		return
 	}
+	s.searchMu.Lock()
 	s.nextQuery++
 	qid := s.nextQuery
 	ps := &pendingSearch{client: from, reqID: reqID, hits: local, waiting: len(peers)}
 	s.searches[qid] = ps
 	// Safety timeout: answer with whatever arrived.
 	ps.timer = s.clk.AfterFunc(2*time.Second, func() { s.finishSearch(qid) })
-	s.mu.Unlock()
+	s.searchMu.Unlock()
 	for _, p := range peers {
 		s.net.Send(netsim.Packet{
 			From: s.ctrlAddr(),
@@ -731,26 +310,26 @@ func (s *Server) onSearch(from netsim.Addr, reqID uint32, m protocol.Search) {
 }
 
 func (s *Server) onSearchResult(m protocol.SearchResult) {
-	s.mu.Lock()
+	s.searchMu.Lock()
 	ps, ok := s.searches[m.SearchID]
 	if !ok {
-		s.mu.Unlock()
+		s.searchMu.Unlock()
 		return
 	}
 	ps.hits = append(ps.hits, m.Hits...)
 	ps.waiting--
 	done := ps.waiting == 0
-	s.mu.Unlock()
+	s.searchMu.Unlock()
 	if done {
 		s.finishSearch(m.SearchID)
 	}
 }
 
 func (s *Server) finishSearch(qid int) {
-	s.mu.Lock()
+	s.searchMu.Lock()
 	ps, ok := s.searches[qid]
 	if !ok {
-		s.mu.Unlock()
+		s.searchMu.Unlock()
 		return
 	}
 	delete(s.searches, qid)
@@ -765,133 +344,44 @@ func (s *Server) finishSearch(qid int) {
 		return hits[i].Name < hits[j].Name
 	})
 	client := ps.client
-	s.mu.Unlock()
+	s.searchMu.Unlock()
 	s.replyReq(client, ps.reqID, protocol.MsgSearchResult, protocol.SearchResult{Hits: hits})
 }
 
-func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequest) {
-	s.mu.Lock()
-	sess, ok := s.sessions[string(from)]
-	if !ok || sess.suspended {
-		s.mu.Unlock()
-		s.replyReq(from, reqID, protocol.MsgDocResponse, protocol.DocResponse{
-			OK: false, Reason: "no active session"})
-		return
-	}
-	doc, ok := s.db.Get(m.Name)
+func (s *Server) onAnnotate(from netsim.Addr, m protocol.Annotate) {
+	sh := s.shardOf(string(from))
+	sh.mu.Lock()
+	sess, ok := sh.sessions[string(from)]
 	if !ok {
-		s.mu.Unlock()
-		s.replyReq(from, reqID, protocol.MsgDocResponse, protocol.DocResponse{
-			OK: false, Reason: "document not found: " + m.Name})
+		sh.mu.Unlock()
 		return
 	}
-	// Tear down any previous document's flows.
-	s.stopSendersLocked(sess)
-	sess.doc = m.Name
-	sess.qosMgr = qos.NewManager(s.clk, s.opts.Policy)
-	sess.qosMgr.SetObs(s.opts.Obs)
-	sess.ssrcToID = map[uint32]string{}
-	s.opts.Obs.Counter("server_docs_served").Inc()
-
-	// The flow scheduler computes the flow scenario and activates the
-	// media servers. The pre-roll lead matches the client's media time
-	// window (plus a margin), so that the deliberate initial delay fills
-	// each buffer to exactly its window.
-	preRoll := s.opts.PreRoll
-	if m.WindowMS > 0 {
-		preRoll = time.Duration(m.WindowMS)*time.Millisecond + 100*time.Millisecond
-	}
-	flows := scenario.BuildFlow(doc.Scenario, scenario.FlowOptions{
-		PreRoll: preRoll,
-		Rate: func(st *scenario.Stream) float64 {
-			return media.ForStream(st).Bitrate(0)
-		},
+	doc := sess.doc
+	user := sess.user
+	sh.mu.Unlock()
+	s.annMu.Lock()
+	s.annotations[doc] = append(s.annotations[doc], protocol.AnnotationRecord{
+		User: user, Text: m.Text, AtUnixMilli: s.clk.Now().UnixMilli(),
 	})
-	var announces []protocol.StreamAnnounce
-	clientHost := from.Host()
-	base := m.MediaPortBase
-	if base <= 0 {
-		base = 7000
-	}
-	// A short setup delay keeps the first media packets from racing the
-	// DocResponse on the unordered datagram path.
-	origin := s.clk.Now().Add(200 * time.Millisecond)
-	for i, f := range flows {
-		src := media.ForStream(f.Stream)
-		s.nextSSRC++
-		ssrc := s.nextSSRC
-		port := base + i
-		snd := newSender(s, sess.qosMgr, f, src, ssrc, netsim.MakeAddr(clientHost, port), origin)
-		sess.senders[f.Stream.ID] = snd
-		sess.ssrcToID[ssrc] = f.Stream.ID
-		sess.qosMgr.Register(qos.StreamConfig{
-			ID:     f.Stream.ID,
-			Kind:   f.Stream.Type,
-			Group:  f.Stream.SyncGroup,
-			Levels: src.Levels(),
-			Floor:  minInt(sess.floorLevel, src.Levels()-1),
-		})
-		announces = append(announces, protocol.StreamAnnounce{
-			StreamID:        f.Stream.ID,
-			SSRC:            ssrc,
-			Port:            port,
-			PayloadType:     byte(src.PayloadType(0)),
-			Rate:            f.Rate,
-			FrameIntervalUS: src.FrameInterval().Microseconds(),
-			Levels:          src.Levels(),
-		})
-	}
-	s.users.LogRetrieval(sess.user, m.Name, s.clk.Now())
-	s.mu.Unlock()
-
-	s.replyReq(from, reqID, protocol.MsgDocResponse, protocol.DocResponse{
-		OK:          true,
-		Name:        doc.Name,
-		ScenarioSrc: doc.Source,
-		Streams:     announces,
-	})
-	// Activate the media servers and the periodic RTCP sender reports.
-	s.mu.Lock()
-	sess.flowOrigin = origin
-	for _, snd := range sess.senders {
-		snd.start()
-	}
-	if sess.srTimer != nil {
-		sess.srTimer.Stop()
-	}
-	sess.srTimer = s.clk.AfterFunc(5*time.Second, func() { s.sendSenderReports(sess) })
-	s.mu.Unlock()
+	s.annMu.Unlock()
+	s.users.LogRetrieval(user, fmt.Sprintf("annotate %s: %s", doc, m.Text), s.clk.Now())
 }
 
-// sendSenderReports emits one RTCP SR per active media sender so receivers
-// can map RTP timestamps to the sender's wall clock (RFC 1889 §6.3). The
-// server lock covers only the session snapshot; report construction walks
-// each sender under that sender's own lock and the sends happen lock-free.
-func (s *Server) sendSenderReports(sess *session) {
-	s.mu.Lock()
-	if sess.suspended {
-		s.mu.Unlock()
-		return
-	}
-	now := s.clk.Now()
-	mediaTime := now.Sub(sess.flowOrigin)
-	if mediaTime < 0 {
-		mediaTime = 0
-	}
-	snds := make([]*sender, 0, len(sess.senders))
-	for _, snd := range sess.senders {
-		snds = append(snds, snd)
-	}
-	if len(snds) > 0 {
-		sess.srTimer = s.clk.AfterFunc(5*time.Second, func() { s.sendSenderReports(sess) })
-	}
-	s.mu.Unlock()
-	from := netsim.MakeAddr(s.Name, mediaPort)
-	for _, snd := range snds {
-		if sr := snd.report(now, mediaTime); sr != nil {
-			s.net.Send(netsim.Packet{From: from, To: snd.to, Payload: sr.Marshal()})
+// onListAnnotations returns the remarks stored for a document.
+func (s *Server) onListAnnotations(from netsim.Addr, reqID uint32, m protocol.ListAnnotations) {
+	doc := m.Doc
+	if doc == "" {
+		sh := s.shardOf(string(from))
+		sh.mu.RLock()
+		if sess, ok := sh.sessions[string(from)]; ok {
+			doc = sess.doc
 		}
+		sh.mu.RUnlock()
 	}
+	s.annMu.Lock()
+	recs := append([]protocol.AnnotationRecord(nil), s.annotations[doc]...)
+	s.annMu.Unlock()
+	s.replyReq(from, reqID, protocol.MsgAnnotations, protocol.Annotations{Doc: doc, Records: recs})
 }
 
 func minInt(a, b int) int {
@@ -902,227 +392,4 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func (s *Server) onFeedback(from netsim.Addr, m protocol.Feedback) {
-	// One short critical section snapshots the session's SSRC map and QoS
-	// manager; report decoding and grading then run off the server lock
-	// (the manager has its own fine-grained lock).
-	s.mu.Lock()
-	sess, ok := s.sessions[string(from)]
-	var mgr *qos.Manager
-	var ssrcToID map[uint32]string
-	if ok {
-		mgr = sess.qosMgr
-		ssrcToID = make(map[uint32]string, len(sess.ssrcToID))
-		for ssrc, id := range sess.ssrcToID {
-			ssrcToID[ssrc] = id
-		}
-	}
-	s.mu.Unlock()
-	if !ok || s.opts.DisableGrading {
-		return
-	}
-	parts, err := rtp.SplitCompound(m.RTCP)
-	if err != nil {
-		return
-	}
-	for _, part := range parts {
-		cp, err := rtp.UnmarshalControl(part)
-		if err != nil || cp.RR == nil {
-			continue
-		}
-		for _, block := range cp.RR.Reports {
-			id, ok := ssrcToID[block.SSRC]
-			if !ok {
-				continue
-			}
-			if acts := mgr.Feedback(qos.FromRTCP(id, block, s.clk.Now())); len(acts) > 0 {
-				// Grading changed the stream mix's rate: renegotiate the
-				// session's reservation so freed bandwidth returns to the
-				// admission pool ([KRI 94]-style service renegotiation).
-				s.renegotiateSession(sess)
-			}
-		}
-	}
-}
-
-// renegotiateSession resizes the session's bandwidth reservation to the
-// aggregate nominal rate of its streams at their current quality levels.
-// The server lock covers only the sender-list snapshot; per-stream rates
-// are read through each sender's own lock.
-func (s *Server) renegotiateSession(sess *session) {
-	s.mu.Lock()
-	snds := make([]*sender, 0, len(sess.senders))
-	for _, snd := range sess.senders {
-		snds = append(snds, snd)
-	}
-	connID := sess.connID
-	s.mu.Unlock()
-	total := 0.0
-	for _, snd := range snds {
-		total += snd.nominalRate()
-	}
-	s.adm.Renegotiate(connID, total)
-}
-
-func (s *Server) onMediaOp(from netsim.Addr, mt protocol.MsgType, m protocol.MediaOp) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[string(from)]
-	if !ok || sess.suspended {
-		// A suspended session's media is parked behind the grace machinery;
-		// a delayed fire-and-forget resume/reload must not restart senders
-		// toward a client the suspend machinery believes is paused. Only
-		// the resume-token / ResumeSession paths may wake it.
-		return
-	}
-	switch mt {
-	case protocol.MsgPause:
-		for _, snd := range sess.senders {
-			snd.pause()
-		}
-	case protocol.MsgResume:
-		for _, snd := range sess.senders {
-			snd.resume()
-		}
-	case protocol.MsgReload:
-		origin := s.clk.Now()
-		for _, snd := range sess.senders {
-			snd.restart(origin)
-		}
-	case protocol.MsgDisableMedia:
-		if snd, ok := sess.senders[m.StreamID]; ok {
-			snd.disable()
-		}
-	}
-}
-
-func (s *Server) onAnnotate(from netsim.Addr, m protocol.Annotate) {
-	s.mu.Lock()
-	sess, ok := s.sessions[string(from)]
-	if !ok {
-		s.mu.Unlock()
-		return
-	}
-	doc := sess.doc
-	s.annotations[doc] = append(s.annotations[doc], protocol.AnnotationRecord{
-		User: sess.user, Text: m.Text, AtUnixMilli: s.clk.Now().UnixMilli(),
-	})
-	s.mu.Unlock()
-	s.users.LogRetrieval(sess.user, fmt.Sprintf("annotate %s: %s", doc, m.Text), s.clk.Now())
-}
-
-// onListAnnotations returns the remarks stored for a document.
-func (s *Server) onListAnnotations(from netsim.Addr, reqID uint32, m protocol.ListAnnotations) {
-	s.mu.Lock()
-	doc := m.Doc
-	if doc == "" {
-		if sess, ok := s.sessions[string(from)]; ok {
-			doc = sess.doc
-		}
-	}
-	recs := append([]protocol.AnnotationRecord(nil), s.annotations[doc]...)
-	s.mu.Unlock()
-	s.replyReq(from, reqID, protocol.MsgAnnotations, protocol.Annotations{Doc: doc, Records: recs})
-}
-
-// suspendSessionLocked pauses the session's media and parks it behind a
-// fresh resume token and grace timer. Caller holds s.mu. Used both for the
-// paper's voluntary suspend and for liveness auto-suspension.
-func (s *Server) suspendSessionLocked(sess *session) string {
-	for _, snd := range sess.senders {
-		snd.pause()
-	}
-	sess.suspended = true
-	s.nextID++
-	sess.resumeToken = fmt.Sprintf("%s-tok-%d", s.Name, s.nextID)
-	s.byToken[sess.resumeToken] = sess
-	tok := sess.resumeToken
-	// "The suspended connection remains active for a period of time ...
-	// when this interval is passed the connection closes and the attached
-	// client is informed about the event."
-	if sess.graceTimer != nil {
-		sess.graceTimer.Stop()
-	}
-	sess.graceTimer = s.clk.AfterFunc(s.opts.Grace, func() { s.expireSuspended(tok) })
-	return tok
-}
-
-func (s *Server) onSuspend(from netsim.Addr, reqID uint32) {
-	s.mu.Lock()
-	sess, ok := s.sessions[string(from)]
-	if !ok {
-		s.mu.Unlock()
-		s.replyReq(from, reqID, protocol.MsgSuspendResult, protocol.SuspendResult{OK: false})
-		return
-	}
-	tok := s.suspendSessionLocked(sess)
-	grace := s.opts.Grace
-	s.mu.Unlock()
-	s.replyReq(from, reqID, protocol.MsgSuspendResult, protocol.SuspendResult{
-		OK: true, ResumeToken: tok, GraceSecs: int(grace.Seconds()),
-	})
-}
-
-func (s *Server) expireSuspended(token string) {
-	s.mu.Lock()
-	sess, ok := s.byToken[token]
-	if !ok || !sess.suspended {
-		s.mu.Unlock()
-		return
-	}
-	delete(s.byToken, token)
-	delete(s.sessions, string(sess.client))
-	delete(s.byID, sess.id)
-	s.dmu.Lock()
-	delete(s.dedup, string(sess.client))
-	s.dmu.Unlock()
-	s.stopSendersLocked(sess)
-	s.adm.Release(sess.connID)
-	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
-	s.opts.Obs.Emit(obs.EvSessionEnd, sess.user, int64(sess.connID), "grace period expired")
-	s.users.ChargeSession(sess.user, s.clk.Now().Sub(sess.startedAt), s.clk.Now())
-	s.users.LogLogout(sess.user, s.clk.Now())
-	client := sess.client
-	s.mu.Unlock()
-	s.reply(client, protocol.MsgError, protocol.ErrorMsg{Msg: "suspended connection closed: grace period expired"})
-}
-
-func (s *Server) onDisconnect(from netsim.Addr) {
-	s.mu.Lock()
-	sess, ok := s.sessions[string(from)]
-	if !ok {
-		s.mu.Unlock()
-		return
-	}
-	delete(s.sessions, string(from))
-	delete(s.byID, sess.id)
-	s.dmu.Lock()
-	delete(s.dedup, string(from))
-	s.dmu.Unlock()
-	if sess.resumeToken != "" {
-		delete(s.byToken, sess.resumeToken)
-	}
-	if sess.graceTimer != nil {
-		sess.graceTimer.Stop()
-	}
-	s.stopSendersLocked(sess)
-	s.adm.Release(sess.connID)
-	s.opts.Obs.Gauge("server_sessions").Set(int64(len(s.sessions)))
-	s.opts.Obs.Emit(obs.EvSessionEnd, sess.user, int64(sess.connID), "client disconnect")
-	s.users.ChargeSession(sess.user, s.clk.Now().Sub(sess.startedAt), s.clk.Now())
-	s.users.LogLogout(sess.user, s.clk.Now())
-	s.mu.Unlock()
-}
-
-func (s *Server) stopSendersLocked(sess *session) {
-	for _, snd := range sess.senders {
-		snd.stop()
-	}
-	sess.senders = map[string]*sender{}
-	if sess.srTimer != nil {
-		sess.srTimer.Stop()
-		sess.srTimer = nil
-	}
 }

@@ -105,14 +105,13 @@ func TestSuspendGraceExpiryReleasesAdmission(t *testing.T) {
 		t.Fatal("no admission reservation after connect")
 	}
 	h.sendReq(3, protocol.MsgSuspend, protocol.Suspend{})
-	h.srv.mu.Lock()
-	sess := h.srv.sessions[string(fakeClient)]
+	sess, unlock := h.srv.lockedSession(fakeClient)
 	if sess == nil || !sess.suspended {
-		h.srv.mu.Unlock()
+		unlock()
 		t.Fatal("session not suspended")
 	}
 	snds := sess.senders
-	h.srv.mu.Unlock()
+	unlock()
 	for id, snd := range snds {
 		if !snd.isPaused() {
 			t.Fatalf("sender %s not paused while suspended", id)
@@ -148,18 +147,17 @@ func TestResumeBeforeExpiryRestoresSenders(t *testing.T) {
 		Reliable: true,
 	})
 	h.clk.RunFor(time.Second)
-	h.srv.mu.Lock()
-	sess := h.srv.sessions[string(cl2)]
+	sess, unlock := h.srv.lockedSession(cl2)
 	if sess == nil || sess.suspended {
-		h.srv.mu.Unlock()
+		unlock()
 		t.Fatalf("session not reattached to %s", cl2)
 	}
 	if len(sess.senders) == 0 {
-		h.srv.mu.Unlock()
+		unlock()
 		t.Fatal("no senders survived the suspend/resume cycle")
 	}
 	snds := sess.senders
-	h.srv.mu.Unlock()
+	unlock()
 	for id, snd := range snds {
 		if snd.isPaused() {
 			t.Fatalf("sender %s still paused after resume", id)
@@ -195,10 +193,9 @@ func TestLivenessSweepAutoSuspendsSilentClient(t *testing.T) {
 	}
 	// Silence: past the miss budget the sweep suspends the session.
 	h.clk.RunFor(5 * time.Second)
-	h.srv.mu.Lock()
-	sess := h.srv.sessions[string(fakeClient)]
+	sess, unlock := h.srv.lockedSession(fakeClient)
 	suspended := sess != nil && sess.suspended
-	h.srv.mu.Unlock()
+	unlock()
 	if !suspended {
 		t.Fatal("silent session not auto-suspended")
 	}
@@ -252,18 +249,14 @@ func TestRejectStormDoesNotLeakDedupRings(t *testing.T) {
 		})
 	}
 	h.clk.RunFor(time.Second)
-	h.srv.dmu.Lock()
-	grown := len(h.srv.dedup)
-	h.srv.dmu.Unlock()
+	grown := h.srv.dedupLen()
 	if grown < storm {
 		t.Fatalf("dedup rings after storm = %d, want ≥ %d", grown, storm)
 	}
 	// Past the TTL the sweep reaps every sessionless ring.
 	h.clk.RunFor(3 * dedupTTL)
-	h.srv.dmu.Lock()
-	left := len(h.srv.dedup)
-	_, clientSurvives := h.srv.dedup[string(fakeClient)]
-	h.srv.dmu.Unlock()
+	left := h.srv.dedupLen()
+	clientSurvives := h.srv.dedupHas(fakeClient)
 	if left != 1 || !clientSurvives {
 		t.Fatalf("dedup rings after sweep = %d (client survives=%v), want only the live client's",
 			left, clientSurvives)
@@ -290,14 +283,13 @@ func TestMediaOpsIgnoredWhileSuspended(t *testing.T) {
 	// Delayed media ops from the suspended client's address.
 	h.sendReq(0, protocol.MsgResume, protocol.MediaOp{})
 	h.sendReq(0, protocol.MsgReload, protocol.MediaOp{})
-	h.srv.mu.Lock()
-	sess := h.srv.sessions[string(fakeClient)]
+	sess, unlock := h.srv.lockedSession(fakeClient)
 	if sess == nil || !sess.suspended {
-		h.srv.mu.Unlock()
+		unlock()
 		t.Fatal("session no longer suspended")
 	}
 	snds := sess.senders
-	h.srv.mu.Unlock()
+	unlock()
 	for id, snd := range snds {
 		if !snd.isPaused() {
 			t.Fatalf("sender %s woken by a media op while suspended", id)
@@ -319,10 +311,9 @@ func TestReloadResetsSenderCounters(t *testing.T) {
 	h := newFaultHarness(t, Options{})
 	h.connectAndPlay(t)
 	h.clk.RunFor(3 * time.Second)
-	h.srv.mu.Lock()
-	sess := h.srv.sessions[string(fakeClient)]
+	sess, unlock := h.srv.lockedSession(fakeClient)
 	snds := sess.senders
-	h.srv.mu.Unlock()
+	unlock()
 	var busy *sender
 	for _, snd := range snds {
 		if snd.stats().frames > 0 {

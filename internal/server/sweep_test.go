@@ -1,0 +1,72 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// TestDedupSweepQuiescesWithLiveSession pins the satellite-1 fix: once a
+// ring's address owns a live session, the ring's lifetime is the session's
+// — the expiry wheel must let go of it and the sweep timer must disarm.
+// Pre-fix, the dedup sweep re-armed itself forever as long as ANY ring
+// existed, so an idle server with one connected client never let the
+// virtual clock go quiet.
+func TestDedupSweepQuiescesWithLiveSession(t *testing.T) {
+	h := newFaultHarness(t, Options{})
+	h.sendReq(1, protocol.MsgConnect, protocol.Connect{User: "u", Password: "p", PeakRate: 1_000_000})
+	var cr protocol.ConnectResult
+	h.lastReply(t, protocol.MsgConnectResult, &cr)
+	if !cr.OK {
+		t.Fatalf("connect = %+v", cr)
+	}
+
+	// Run far past the dedup TTL with nothing else happening. The only
+	// ring belongs to the connected client's session, so the sweep must
+	// drop it from the wheel and stop re-arming.
+	h.clk.RunFor(3 * dedupTTL)
+	if n := h.clk.Pending(); n != 0 {
+		t.Fatalf("%d timers still pending on an idle server; the dedup sweep never quiesced", n)
+	}
+
+	// The ring itself must survive the sweep (it dies with the session):
+	// a retransmission of the original connect is answered from the cache,
+	// not re-admitted.
+	decisions := h.srv.Admission().Decisions()
+	h.sendReq(1, protocol.MsgConnect, protocol.Connect{User: "u", Password: "p", PeakRate: 1_000_000})
+	var cr2 protocol.ConnectResult
+	h.lastReply(t, protocol.MsgConnectResult, &cr2)
+	if !cr2.OK || cr2.SessionID != cr.SessionID {
+		t.Fatalf("retransmitted connect = %+v, want cached reply for session %s", cr2, cr.SessionID)
+	}
+	if got := h.srv.Admission().Decisions(); got != decisions {
+		t.Fatalf("retransmission cost %d extra admission decisions", got-decisions)
+	}
+	if got := h.srv.Sessions(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+}
+
+// TestAccessorsStayOffLockMeter pins the satellite-3 fix: the read-only
+// accessors Sessions and QoSManager must not take the metered write lock —
+// pre-fix they polluted LockStats, hiding real contention behind monitoring
+// noise and invalidating the data plane's paced_lock_acqs == 0 proof.
+func TestAccessorsStayOffLockMeter(t *testing.T) {
+	h := newFaultHarness(t, Options{})
+	h.connectAndPlay(t)
+
+	acqs0, _ := h.srv.LockStats()
+	for i := 0; i < 200; i++ {
+		if got := h.srv.Sessions(); got != 1 {
+			t.Fatalf("sessions = %d, want 1", got)
+		}
+		if h.srv.QoSManager(fakeClient) == nil {
+			t.Fatal("no QoS manager for the connected client")
+		}
+	}
+	acqs1, _ := h.srv.LockStats()
+	if acqs1 != acqs0 {
+		t.Fatalf("read-only accessors took the metered write lock %d times; they must serve off the read side",
+			acqs1-acqs0)
+	}
+}
