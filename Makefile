@@ -14,13 +14,17 @@
 # and the timer-wheel sweep cost at 1k/10k/100k resident sessions, writes
 # BENCH_controlplane.json, and fails if the per-tick sweep cost is not
 # sublinear in resident sessions (the gate lives in
-# internal/experiments/ctrlbench.go).
+# internal/experiments/ctrlbench.go). `make bench-verify` re-validates the
+# committed BENCH_*.json artifacts against their schemas and gates (paced
+# lock/alloc invariants, span-overhead ceiling, sweep sublinearity) without
+# re-running the benchmarks, so `make check` catches a stale or
+# hand-mangled artifact deterministically.
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-dataplane bench-controlplane
+.PHONY: check vet build test race chaos bench-dataplane bench-controlplane bench-verify
 
-check: vet build test race
+check: vet build test race bench-verify
 
 vet:
 	$(GO) vet ./...
@@ -44,3 +48,6 @@ bench-dataplane:
 bench-controlplane:
 	$(GO) test -bench BenchmarkControlPlane -benchmem -benchtime 1x -run '^$$' ./internal/server/
 	$(GO) run ./cmd/experiments -controlplane BENCH_controlplane.json
+
+bench-verify:
+	$(GO) run ./cmd/experiments -verify-bench .

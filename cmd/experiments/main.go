@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-quick] [-only F2,E3] [-dataplane out.json]
+//	experiments [-seed N] [-quick] [-only F2,E3] [-dataplane out.json] [-verify-bench dir]
 package main
 
 import (
@@ -24,7 +24,18 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. F2,E3); empty = all")
 	dataplane := flag.String("dataplane", "", "run the data-plane load benchmark and write its JSON results to this path")
 	controlplane := flag.String("controlplane", "", "run the control-plane load benchmark and write its JSON results to this path")
+	verifyBench := flag.String("verify-bench", "", "validate every committed BENCH_*.json under this directory against its schema and gates, then exit")
 	flag.Parse()
+
+	if *verifyBench != "" {
+		summary, err := experiments.VerifyBenchFiles(*verifyBench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-verify FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(summary)
+		return
+	}
 
 	if *controlplane != "" {
 		tb, results, err := experiments.ControlPlane(nil)
@@ -147,6 +158,10 @@ func main() {
 	if sel("E10") {
 		tb, err := experiments.E10SharedUplink(*seed)
 		show("E10", tb, err)
+	}
+	if sel("E12") {
+		tb, err := experiments.E12FlightRecorder(*seed)
+		show("E12", tb, err)
 	}
 	if sel("A1") {
 		tb, err := experiments.A1DegradeOrder(*seed)

@@ -264,8 +264,13 @@ func execute(c *client.Client, scope *obs.Scope, serverName, line string) bool {
 			st.Server, len(st.Metrics), st.TraceEvents, st.TraceDropped)
 		for _, p := range st.Metrics {
 			if p.Kind == "histogram" {
-				fmt.Printf("  %-40s %-10s mean=%.1fms n=%d p50=%.1f p95=%.1f p99=%.1f\n",
-					p.Name, p.Kind, p.Value, p.Count, p.P50, p.P95, p.P99)
+				// FmtMS picks the unit (µs/ms/s) per value, matching the
+				// local dashboard, so µs-scale service times don't print
+				// as "0.0ms" next to second-scale playout histograms.
+				fmt.Printf("  %-40s %-10s n=%d mean=%s p50=%s p95=%s p99=%s min=%s max=%s\n",
+					p.Name, p.Kind, p.Count, obs.FmtMS(p.Value),
+					obs.FmtMS(p.P50), obs.FmtMS(p.P95), obs.FmtMS(p.P99),
+					obs.FmtMS(p.Min), obs.FmtMS(p.Max))
 				continue
 			}
 			fmt.Printf("  %-40s %-10s %.0f\n", p.Name, p.Kind, p.Value)

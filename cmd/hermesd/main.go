@@ -9,6 +9,8 @@
 //	hermesd -name hermes-a -peers hermes-b      # federate search
 //	hermesd -metrics-every 10s                  # periodic telemetry dump
 //	hermesd -trace trace.jsonl                  # write event trace on exit
+//	hermesd -series series.jsonl                # write metric time series on exit
+//	hermesd -flight ./flightdir                 # anomaly-triggered flight dumps
 //
 // Users subscribe in-band via the browser, or a test user "student"/"pw"
 // can be pre-created with -testuser.
@@ -46,9 +48,19 @@ func main() {
 	testuser := flag.Bool("testuser", true, "pre-subscribe user student/pw")
 	metricsEvery := flag.Duration("metrics-every", 0, "dump the telemetry dashboard periodically (0 = only at exit)")
 	tracePath := flag.String("trace", "", "write the JSONL event trace to this file at exit")
+	seriesPath := flag.String("series", "", "write the JSONL metric time series to this file at exit")
+	seriesEvery := flag.Duration("series-every", 10*time.Second, "time-series snapshot interval")
+	flightDir := flag.String("flight", "", "arm the flight recorder; anomaly dumps land in this directory")
 	flag.Parse()
 
 	scope := obs.NewScope(clock.NewWall())
+	series := scope.EnableTimeSeries(obs.DefaultSeriesCap)
+	series.Start(*seriesEvery)
+	defer series.Stop()
+	var flight *obs.Recorder
+	if *flightDir != "" {
+		flight = scope.EnableFlightRecorder(obs.RecorderOptions{Dir: *flightDir})
+	}
 	live := transport.NewLiveObs(scope)
 	defer live.Close()
 	if err := live.ParseHostMap(*hostmap); err != nil {
@@ -125,6 +137,7 @@ func main() {
 					return
 				case <-t.C:
 					fmt.Printf("hermesd: telemetry %s\n%s", time.Now().Format(time.RFC3339), scope.Dashboard(10))
+					fmt.Print(series.Table(6))
 				}
 			}
 		}()
@@ -148,5 +161,21 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("hermesd: wrote %d trace events to %s\n", scope.Trace().Len(), *tracePath)
+	}
+	if *seriesPath != "" {
+		f, err := os.Create(*seriesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hermesd:", err)
+			os.Exit(1)
+		}
+		if err := series.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hermesd:", err)
+		}
+		f.Close()
+		fmt.Printf("hermesd: wrote %d time-series samples to %s\n", series.Len(), *seriesPath)
+	}
+	if flight != nil {
+		fmt.Printf("hermesd: flight recorder wrote %d dumps (last: %s)\n",
+			flight.Dumps(), flight.LastDumpPath())
 	}
 }

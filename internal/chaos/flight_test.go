@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+
+	"repro/internal/client"
+)
+
+// flightLine is one JSONL line of a flight dump (the trace event schema;
+// the first line of a dump is the header instead).
+type flightLine struct {
+	Kind   string `json:"kind"`
+	Stream string `json:"stream"`
+	Value  int64  `json:"value"`
+	Note   string `json:"note"`
+}
+
+// TestFlightRecorderCapturesFailover arms the client's flight recorder,
+// kills the server mid-lesson, and asserts the anomaly-triggered dump holds
+// the failover's full causal window in order: heartbeats going unanswered,
+// the liveness loss, the failover decision, and the session restarting at
+// the replica — the post-mortem a live incident would need, produced by the
+// incident itself.
+func TestFlightRecorderCapturesFailover(t *testing.T) {
+	w := newWorld(t,
+		server.Options{Grace: 3 * time.Second, HeartbeatEvery: time.Second, LivenessMisses: 3},
+		client.Options{},
+		"srv-a", "srv-b")
+	dir := t.TempDir()
+	rec := w.cscope.EnableFlightRecorder(obs.RecorderOptions{
+		Dir: dir,
+		// The failover fires only once the reconnect to the dead server
+		// exhausts its retry budget: 0.75+1.5+3+4+4 ≈ 13.3s after the
+		// liveness loss. The flush delay must bridge that quiet gap so the
+		// failover extends the pending dump instead of landing after it.
+		FlushDelay: 15 * time.Second,
+	})
+	w.connectAndPlay(t, "srv-a")
+
+	// Timeline: misses at +1..3s, liveness loss ~+3s, reconnect retries
+	// until ~+16s, failover + resume at srv-b, dump frozen 15s later. 45s
+	// covers it with slack.
+	w.net.SetHostDown("srv-a", true)
+	w.run(45 * time.Second)
+
+	if got := w.cscope.Counter("client_failovers").Value(); got != 1 {
+		t.Fatalf("client_failovers = %d, want 1", got)
+	}
+	if err := rec.LastErr(); err != nil {
+		t.Fatalf("flight dump error: %v", err)
+	}
+	if got := rec.Dumps(); got != 1 {
+		t.Fatalf("flight dumps = %d, want exactly 1 (the failover must extend the liveness-loss window, not dump twice)", got)
+	}
+	path := rec.LastDumpPath()
+	if path == "" {
+		t.Fatal("no flight dump path")
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		t.Fatal("empty flight dump")
+	}
+	var hdr struct {
+		Anomaly string `json:"anomaly"`
+		Events  int    `json:"events"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("bad dump header %q: %v", sc.Text(), err)
+	}
+	// The header names the incident's *first* trigger: the moment frames stop
+	// arriving the playout deadline-miss burst fires, a beat before the
+	// heartbeat path concludes liveness is lost. Either is a valid opener.
+	if hdr.Anomaly != "deadline-miss-burst" && hdr.Anomaly != "liveness-loss" {
+		t.Fatalf("dump anomaly = %q, want deadline-miss-burst or liveness-loss", hdr.Anomaly)
+	}
+	var evs []flightLine
+	for sc.Scan() {
+		var ln flightLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatalf("bad dump line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ln)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Events != len(evs) {
+		t.Fatalf("header says %d events, dump holds %d", hdr.Events, len(evs))
+	}
+
+	// The causal window, in order: heartbeat misses precede the liveness
+	// loss, which precedes the failover, which precedes the session starting
+	// at the replica.
+	idx := func(match func(flightLine) bool) int {
+		for i, ev := range evs {
+			if match(ev) {
+				return i
+			}
+		}
+		return -1
+	}
+	iMiss := idx(func(ev flightLine) bool { return ev.Kind == "heartbeat-miss" && ev.Stream == "srv-a" })
+	iLoss := idx(func(ev flightLine) bool { return ev.Kind == "liveness" && ev.Value == 0 })
+	iFail := idx(func(ev flightLine) bool { return ev.Kind == "failover" && ev.Stream == "srv-a" })
+	iResume := idx(func(ev flightLine) bool { return ev.Kind == "session-start" && ev.Stream == "srv-b" })
+	iAnom := idx(func(ev flightLine) bool { return ev.Kind == "anomaly" })
+	for name, i := range map[string]int{
+		"heartbeat-miss": iMiss, "liveness-loss": iLoss, "failover": iFail,
+		"replica session-start": iResume, "anomaly marker": iAnom,
+	} {
+		if i < 0 {
+			t.Fatalf("dump missing %s; events: %+v", name, evs)
+		}
+	}
+	if !(iMiss < iLoss && iLoss < iFail && iFail < iResume) {
+		t.Fatalf("causal order broken: miss@%d loss@%d failover@%d resume@%d", iMiss, iLoss, iFail, iResume)
+	}
+}

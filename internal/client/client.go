@@ -22,6 +22,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/scenario"
 	"repro/internal/server"
+	"repro/internal/stats"
 )
 
 // Options tunes the browser.
@@ -141,6 +142,12 @@ type Client struct {
 	net  netsim.Net
 	opts Options
 
+	// spans and hCtrlRTT are resolved once at New, like counters: spans
+	// samples the wire→reassembled hop of 1-in-N media frames, hCtrlRTT
+	// observes the first-send→reply round trip of tracked control requests.
+	spans    *obs.FrameSpans
+	hCtrlRTT *stats.DurationHistogram
+
 	machines map[string]*protocol.Machine
 	current  string // connected server host ("" when none)
 	sessions map[string]string
@@ -236,6 +243,9 @@ type assembly struct {
 	total uint16
 	hdr   media.FrameHeader
 	ts    uint32
+	// sentAt is the wire stamp of the earliest fragment seen (zero when the
+	// transport does not stamp); it anchors the wire→reassembled span.
+	sentAt time.Time
 }
 
 // newAssemblyLocked takes an assembly shell off the free list (or makes one)
@@ -262,6 +272,7 @@ func (c *Client) newAssemblyLocked(hdr media.FrameHeader, ts uint32) *assembly {
 	a.total = hdr.FragCount
 	a.hdr = hdr
 	a.ts = ts
+	a.sentAt = time.Time{}
 	return a
 }
 
@@ -292,6 +303,8 @@ func New(host string, clk clock.Clock, net netsim.Net, opts Options) (*Client, e
 		failedPeers:   map[string]bool{},
 		monitor:       qos.NewClientMonitor(clk, 0x1996),
 	}
+	c.spans = opts.Obs.FrameSpans()
+	c.hCtrlRTT = opts.Obs.Histogram("client_ctrl_rtt")
 	if err := net.Listen(c.ctrlAddr(), c.handleCtrl); err != nil {
 		return nil, fmt.Errorf("client %s: %w", host, err)
 	}

@@ -420,6 +420,9 @@ func (c *Client) handleMedia(pkt netsim.Packet) {
 		a = c.newAssemblyLocked(hdr, p.Timestamp)
 		byFrame[hdr.Index] = a
 	}
+	if !pkt.SentAt.IsZero() && (a.sentAt.IsZero() || pkt.SentAt.Before(a.sentAt)) {
+		a.sentAt = pkt.SentAt
+	}
 	// Copy the fragment into its slot of the frame scratch. The first-seen
 	// header is authoritative: fragments whose length disagrees with the
 	// frame's fragmentation geometry (corruption, a mismatched retransmit)
@@ -443,6 +446,9 @@ func (c *Client) handleMedia(pkt netsim.Packet) {
 			delete(byFrame, idx)
 			c.freeAssemblyLocked(stale)
 		}
+	}
+	if c.spans.Sampled(hdr.Index) && !a.sentAt.IsZero() {
+		c.spans.RecordDelivery(id, c.clk.Now().Sub(a.sentAt))
 	}
 	if buf := c.bufs.Get(id); buf != nil {
 		buf.Push(buffer.Item{

@@ -31,7 +31,10 @@ type pendingReq struct {
 	// attempts (used by recovery probes, which retry until the grace
 	// window closes).
 	deadline time.Time
-	timer    *clock.Timer
+	// sentAt stamps the first transmission; the control span measures
+	// first-send→reply, so retransmission waits count against the RTT.
+	sentAt time.Time
+	timer  *clock.Timer
 	// onFail runs with c.mu held once the request is abandoned.
 	onFail func()
 }
@@ -62,6 +65,7 @@ func (c *Client) sendReqLocked(host string, mt protocol.MsgType, body interface{
 		frame:    protocol.MustEncodeReq(mt, id, body),
 		delay:    c.opts.RetryTimeout,
 		deadline: deadline,
+		sentAt:   c.clk.Now(),
 		onFail:   onFail,
 	}
 	c.pending[id] = pr
@@ -122,6 +126,9 @@ func (c *Client) completePendingLocked(reqID uint32) bool {
 		pr.timer.Stop()
 	}
 	delete(c.pending, reqID)
+	rtt := c.clk.Now().Sub(pr.sentAt)
+	c.hCtrlRTT.Observe(rtt)
+	c.opts.Obs.Sample(obs.EvCtrlSpan, pr.host, rtt.Microseconds(), pr.mt.String())
 	return true
 }
 
@@ -177,6 +184,8 @@ func (c *Client) heartbeatTick() {
 	}
 	if c.hbAwait {
 		c.hbMisses++
+		c.opts.Obs.Counter("client_heartbeat_misses").Inc()
+		c.opts.Obs.Emit(obs.EvHeartbeatMiss, host, int64(c.hbMisses), "heartbeat unanswered")
 	} else {
 		c.hbMisses = 0
 	}

@@ -7,20 +7,39 @@ import (
 	"repro/internal/stats"
 )
 
+// DataPlaneReport is the JSON shape of BENCH_dataplane.json: the per-scale
+// load runs plus the span-overhead pair, which prices the sampled frame-span
+// instrumentation by comparing pump throughput with telemetry on against
+// telemetry off.
+type DataPlaneReport struct {
+	Runs []server.DataPlaneResult `json:"runs"`
+	// SpanOverheadPct is the frames/s cost of the default telemetry scope
+	// (spans sampled 1-in-8) relative to a scope-less run, best-of-3 each.
+	// Gated ≤ spanOverheadGatePct here and again by VerifyBenchFiles.
+	SpanOverheadPct  float64 `json:"span_overhead_pct"`
+	FramesPerSecObs  float64 `json:"frames_per_sec_obs"`
+	FramesPerSecNoop float64 `json:"frames_per_sec_noobs"`
+}
+
+// spanOverheadGatePct is the acceptance ceiling on the span instrumentation's
+// throughput cost.
+const spanOverheadGatePct = 5.0
+
 // DataPlane runs the server data-plane load harness at each session count
-// and tabulates throughput, emit-latency tail, global-lock pressure and the
-// allocation footprint of both phases. The results back
-// BENCH_dataplane.json: frames/s must grow (or hold) with session count, the
-// paced phase must show zero srv.mu acquisitions, and the pooled emit path
-// must hold the paced allocation rate at (amortized) ≤ 1 object per frame.
-func DataPlane(sessions []int) (*stats.Table, []server.DataPlaneResult, error) {
+// and tabulates throughput, emit-latency tail, global-lock pressure, the
+// allocation footprint of both phases, and the emit→wire span percentiles.
+// The results back BENCH_dataplane.json: frames/s must grow (or hold) with
+// session count, the paced phase must show zero shard-lock acquisitions, the
+// pooled emit path must hold the paced allocation rate at (amortized) ≤ 1
+// object per frame, and the span sampling must cost ≤ 5% throughput.
+func DataPlane(sessions []int) (*stats.Table, *DataPlaneReport, error) {
 	if len(sessions) == 0 {
 		sessions = []int{1, 8, 64}
 	}
 	tb := stats.NewTable("BENCH — media data plane: parallel zero-alloc emit off the global lock",
 		"sessions", "senders", "paced lock acqs", "frames/s", "emit p50 µs", "emit p95 µs",
-		"paced allocs/frame", "paced B/frame", "pump allocs/frame", "pump B/frame", "lock held µs")
-	var out []server.DataPlaneResult
+		"e2w p95 µs", "e2w p99 µs", "paced allocs/frame", "pump allocs/frame", "lock held µs")
+	rep := &DataPlaneReport{}
 	for _, n := range sessions {
 		res, err := server.RunDataPlaneLoad(server.DataPlaneConfig{
 			Sessions:        n,
@@ -30,7 +49,7 @@ func DataPlane(sessions []int) (*stats.Table, []server.DataPlaneResult, error) {
 			return nil, nil, fmt.Errorf("dataplane sessions=%d: %w", n, err)
 		}
 		if res.PacedLockAcqs != 0 {
-			return nil, nil, fmt.Errorf("dataplane sessions=%d: %d srv.mu acquisitions during paced emission",
+			return nil, nil, fmt.Errorf("dataplane sessions=%d: %d shard-lock acquisitions during paced emission",
 				n, res.PacedLockAcqs)
 		}
 		if res.PacedAllocsPerFrame > 1 {
@@ -41,12 +60,47 @@ func DataPlane(sessions []int) (*stats.Table, []server.DataPlaneResult, error) {
 			fmt.Sprintf("%.0f", res.FramesPerSec),
 			fmt.Sprintf("%.1f", res.EmitP50Micros),
 			fmt.Sprintf("%.1f", res.EmitP95Micros),
+			fmt.Sprintf("%.1f", res.EmitToWireP95),
+			fmt.Sprintf("%.1f", res.EmitToWireP99),
 			fmt.Sprintf("%.3f", res.PacedAllocsPerFrame),
-			fmt.Sprintf("%.1f", res.PacedAllocBytesPerFrame),
 			fmt.Sprintf("%.3f", res.PumpAllocsPerFrame),
-			fmt.Sprintf("%.1f", res.PumpAllocBytesPerFrame),
 			res.LockHeldMicros)
-		out = append(out, res)
+		rep.Runs = append(rep.Runs, res)
 	}
-	return tb, out, nil
+
+	// Overhead pair: best-of-3 pump throughput with the default scope (spans
+	// sampled) against telemetry off, at a fixed mid scale. Best-of-N rather
+	// than mean keeps scheduler noise from masquerading as span cost.
+	best := func(disable bool) (float64, error) {
+		var top float64
+		for i := 0; i < 3; i++ {
+			res, err := server.RunDataPlaneLoad(server.DataPlaneConfig{
+				Sessions: 8, FramesPerSender: 500, DisableObs: disable,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if res.FramesPerSec > top {
+				top = res.FramesPerSec
+			}
+		}
+		return top, nil
+	}
+	var err error
+	if rep.FramesPerSecObs, err = best(false); err != nil {
+		return nil, nil, fmt.Errorf("dataplane overhead pair (obs on): %w", err)
+	}
+	if rep.FramesPerSecNoop, err = best(true); err != nil {
+		return nil, nil, fmt.Errorf("dataplane overhead pair (obs off): %w", err)
+	}
+	if rep.FramesPerSecNoop > 0 {
+		rep.SpanOverheadPct = (rep.FramesPerSecNoop - rep.FramesPerSecObs) / rep.FramesPerSecNoop * 100
+	}
+	if rep.SpanOverheadPct > spanOverheadGatePct {
+		return nil, nil, fmt.Errorf("dataplane: span sampling costs %.1f%% throughput (%.0f → %.0f frames/s), want ≤ %.0f%%",
+			rep.SpanOverheadPct, rep.FramesPerSecNoop, rep.FramesPerSecObs, spanOverheadGatePct)
+	}
+	tb.AddRow("overhead", "", "", fmt.Sprintf("%.0f vs %.0f", rep.FramesPerSecObs, rep.FramesPerSecNoop),
+		"", "", "", "", "", "", fmt.Sprintf("%.1f%% span cost", rep.SpanOverheadPct))
+	return tb, rep, nil
 }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/server"
+)
+
+// This file is the BENCH_*.json schema gate: `make bench-verify` (part of
+// `make check`) re-validates the *committed* benchmark artifacts without
+// re-running the benchmarks, so a PR cannot silently regress a gated
+// invariant or drop a reporting field the docs promise. Every BENCH file in
+// the repo root must be known here; an unknown one fails verification so new
+// benchmarks must register their schema.
+
+// VerifyBenchFiles validates every BENCH_*.json under dir. It returns a
+// human-readable summary of what was checked, or an error naming the first
+// violated invariant.
+func VerifyBenchFiles(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return "", fmt.Errorf("bench-verify: no BENCH_*.json found under %s", dir)
+	}
+	summary := ""
+	for _, p := range paths {
+		base := filepath.Base(p)
+		switch base {
+		case "BENCH_dataplane.json":
+			if err := verifyDataPlaneFile(p); err != nil {
+				return "", err
+			}
+		case "BENCH_controlplane.json":
+			if err := verifyControlPlaneFile(p); err != nil {
+				return "", err
+			}
+		default:
+			return "", fmt.Errorf("bench-verify: unknown benchmark artifact %s (register its schema in internal/experiments/benchverify.go)", base)
+		}
+		summary += base + " OK\n"
+	}
+	return summary, nil
+}
+
+func verifyDataPlaneFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep DataPlaneReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("bench-verify: %s: %w", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("bench-verify: %s: no runs", path)
+	}
+	for _, r := range rep.Runs {
+		if r.Sessions <= 0 || r.Senders <= 0 || r.PumpFrames <= 0 || r.FramesPerSec <= 0 {
+			return fmt.Errorf("bench-verify: %s: sessions=%d run missing core fields", path, r.Sessions)
+		}
+		if r.PacedLockAcqs != 0 {
+			return fmt.Errorf("bench-verify: %s: sessions=%d shows %d paced shard-lock acquisitions, want 0",
+				path, r.Sessions, r.PacedLockAcqs)
+		}
+		if r.PacedAllocsPerFrame > 1 {
+			return fmt.Errorf("bench-verify: %s: sessions=%d paced phase allocates %.2f objects/frame, want ≤ 1",
+				path, r.Sessions, r.PacedAllocsPerFrame)
+		}
+		if r.SpanSampleEvery <= 0 || r.SpanFrames <= 0 {
+			return fmt.Errorf("bench-verify: %s: sessions=%d has no frame-span samples (span_sample_every=%d span_frames=%d)",
+				path, r.Sessions, r.SpanSampleEvery, r.SpanFrames)
+		}
+		if r.EmitToWireP95 <= 0 || r.EmitToWireP99 <= 0 || r.EmitToWireMax <= 0 {
+			return fmt.Errorf("bench-verify: %s: sessions=%d missing emit_to_wire percentile fields", path, r.Sessions)
+		}
+	}
+	if rep.FramesPerSecObs <= 0 || rep.FramesPerSecNoop <= 0 {
+		return fmt.Errorf("bench-verify: %s: missing span overhead pair fields", path)
+	}
+	if rep.SpanOverheadPct > spanOverheadGatePct {
+		return fmt.Errorf("bench-verify: %s: span_overhead_pct %.1f exceeds the %.0f%% gate",
+			path, rep.SpanOverheadPct, spanOverheadGatePct)
+	}
+	return nil
+}
+
+func verifyControlPlaneFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var runs []server.ControlPlaneResult
+	if err := json.Unmarshal(buf, &runs); err != nil {
+		return fmt.Errorf("bench-verify: %s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("bench-verify: %s: no runs", path)
+	}
+	for _, r := range runs {
+		if r.Sessions <= 0 || r.ConnectsPerSec <= 0 || r.HeartbeatsPerSec <= 0 || r.SweepTicks <= 0 {
+			return fmt.Errorf("bench-verify: %s: sessions=%d run missing core fields", path, r.Sessions)
+		}
+		if r.AdmissionDecisions != int64(r.Sessions) {
+			return fmt.Errorf("bench-verify: %s: sessions=%d shows %d admission decisions; duplicates leaked past dedup",
+				path, r.Sessions, r.AdmissionDecisions)
+		}
+		if r.HandleP99 <= 0 || r.HandleMax <= 0 {
+			return fmt.Errorf("bench-verify: %s: sessions=%d missing handle percentile fields", path, r.Sessions)
+		}
+	}
+	// The timer-wheel sublinearity gate, re-checked on the committed file
+	// (mirrors ControlPlane's generation-time gate).
+	first, last := runs[0], runs[len(runs)-1]
+	if len(runs) > 1 && last.Sessions > first.Sessions {
+		floor := first.SweepTickMicros
+		if floor < 25 {
+			floor = 25
+		}
+		if last.SweepTickMicros > 20*floor {
+			return fmt.Errorf("bench-verify: %s: sweep tick grew from %.1fµs (%d sessions) to %.1fµs (%d sessions); not sublinear",
+				path, first.SweepTickMicros, first.Sessions, last.SweepTickMicros, last.Sessions)
+		}
+	}
+	return nil
+}

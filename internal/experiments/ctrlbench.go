@@ -21,7 +21,7 @@ func ControlPlane(sessions []int) (*stats.Table, []server.ControlPlaneResult, er
 	}
 	tb := stats.NewTable("BENCH — control plane: sharded sessions, dedup storms, timer-wheel sweeps",
 		"sessions", "dup", "connects/s", "ctrl reqs/s", "heartbeats/s",
-		"sweep µs/tick", "dedup rings", "lock held µs")
+		"sweep µs/tick", "handle p99 µs", "lock wait p99 µs", "dedup rings", "lock held µs")
 	var out []server.ControlPlaneResult
 	for _, n := range sessions {
 		res, err := server.RunControlPlaneLoad(server.ControlPlaneConfig{
@@ -36,6 +36,8 @@ func ControlPlane(sessions []int) (*stats.Table, []server.ControlPlaneResult, er
 			fmt.Sprintf("%.0f", res.CtrlReqsPerSec),
 			fmt.Sprintf("%.0f", res.HeartbeatsPerSec),
 			fmt.Sprintf("%.1f", res.SweepTickMicros),
+			fmt.Sprintf("%.1f", res.HandleP99),
+			fmt.Sprintf("%.1f", res.LockWaitP99),
 			res.DedupRings,
 			res.LockHeldMicros)
 		out = append(out, res)

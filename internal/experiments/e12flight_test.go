@@ -1,0 +1,11 @@
+package experiments
+
+import "testing"
+
+func TestE12FlightRecorderPostMortem(t *testing.T) {
+	tb, err := E12FlightRecorder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+}

@@ -218,6 +218,11 @@ type Network struct {
 	// Sniffer, when set, observes every packet at Send time (before any
 	// loss decision); used for protocol-stack byte accounting.
 	Sniffer func(Packet)
+	// deliveryHist, when set, observes every delivered packet's simulated
+	// send→arrival delay — the wire hop of the end-to-end latency spans.
+	// Taking a *stats.DurationHistogram directly keeps netsim free of an
+	// obs dependency.
+	deliveryHist *stats.DurationHistogram
 
 	// Fault-injection state (see faults.go). All guarded by mu; windows are
 	// offsets from the network's epoch, so a given seed plus a given fault
@@ -256,6 +261,14 @@ func (n *Network) SetEgressLimit(host string, bps float64, queueLimit time.Durat
 		queueLimit = 500 * time.Millisecond
 	}
 	n.egresses[host] = &egress{rate: bps, queueLimit: queueLimit}
+}
+
+// SetDeliveryHistogram attaches a histogram observing every delivered
+// packet's simulated send→arrival delay (nil detaches).
+func (n *Network) SetDeliveryHistogram(h *stats.DurationHistogram) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.deliveryHist = h
 }
 
 // SetDefaultLink sets the config used for host pairs without an explicit
@@ -479,6 +492,9 @@ func (n *Network) Send(pkt Packet) error {
 	}
 	l.stats.Delivered++
 	l.stats.Delays.AddDuration(arrival.Sub(now))
+	if n.deliveryHist != nil {
+		n.deliveryHist.Observe(arrival.Sub(now))
+	}
 	deliverCopies := 1
 	if !pkt.Reliable && l.cfg.Dup > 0 && l.rng.Bool(l.cfg.Dup) {
 		deliverCopies = 2

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Recorder is the flight recorder: a bounded ring of the most recent events
+// and frame/control samples of one scope, dumped automatically when an
+// anomaly fires. Where the main trace answers "what has this session done
+// lately", a flight dump answers "what exactly surrounded the failover at
+// tick 4.2s" — the causal window a chaos post-mortem needs, frozen at the
+// moment it mattered.
+//
+// Anomalies: a failover, a liveness loss (EvLiveness with value 0), a
+// deadline-miss burst (BurstN misses inside BurstWindow) or a grade drop
+// (degrade/cutoff grading action). The dump is deferred by FlushDelay so
+// the aftermath (recovery probes, the session resuming at a replica) lands
+// inside the window; a second anomaly while one is pending extends the
+// delay instead of dumping twice. After a dump, Cooldown suppresses
+// re-triggering so one incident produces one file.
+type Recorder struct {
+	clk  clock.Clock
+	opts RecorderOptions
+
+	mu       sync.Mutex
+	ring     []Event
+	next     int
+	full     bool
+	missAt   []time.Time // timestamps of the last BurstN-1 deadline misses
+	missNext int
+	missFull bool
+	pending  string // anomaly reason awaiting flush ("" = none)
+	flush    *clock.Timer
+	lastDump time.Time
+	dumps    int
+	lastPath string
+	lastErr  error
+	scratch  []Event
+}
+
+// RecorderOptions tunes a flight recorder. Zero values take defaults.
+type RecorderOptions struct {
+	// Cap bounds the ring (default 512 entries).
+	Cap int
+	// Dir, when set, receives one flight-NNN.jsonl file per dump: a header
+	// line naming the anomaly, then the window's events in the trace JSONL
+	// schema.
+	Dir string
+	// Sink, when set, observes each dump in-process. The events slice is
+	// reused by the next dump — copy what outlives the call.
+	Sink func(anomaly string, events []Event)
+	// FlushDelay is how long after the trigger the window is frozen
+	// (default 2s); anomalies arriving meanwhile extend it.
+	FlushDelay time.Duration
+	// BurstN deadline misses within BurstWindow trigger a dump (defaults
+	// 8 within 2s).
+	BurstN      int
+	BurstWindow time.Duration
+	// Cooldown suppresses new triggers after a dump (default 30s).
+	Cooldown time.Duration
+}
+
+func (o *RecorderOptions) fill() {
+	if o.Cap <= 0 {
+		o.Cap = 512
+	}
+	if o.FlushDelay <= 0 {
+		o.FlushDelay = 2 * time.Second
+	}
+	if o.BurstN <= 0 {
+		o.BurstN = 8
+	}
+	if o.BurstWindow <= 0 {
+		o.BurstWindow = 2 * time.Second
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 30 * time.Second
+	}
+}
+
+// NewRecorder creates a flight recorder on clk. Scopes normally build one
+// via Scope.EnableFlightRecorder, which also tees every Emit into it.
+func NewRecorder(clk clock.Clock, opts RecorderOptions) *Recorder {
+	opts.fill()
+	n := opts.BurstN - 1
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{
+		clk:    clk,
+		opts:   opts,
+		ring:   make([]Event, opts.Cap),
+		missAt: make([]time.Time, n),
+	}
+}
+
+// anomalyOf classifies an event as a dump trigger ("" = none). Deadline
+// misses are handled separately: one miss is routine, a burst is not.
+func anomalyOf(ev Event) string {
+	switch ev.Kind {
+	case EvFailover:
+		return "failover"
+	case EvLiveness:
+		if ev.Value == 0 {
+			return "liveness-loss"
+		}
+	case EvGradeChange:
+		if strings.HasPrefix(ev.Note, "degrade") || strings.HasPrefix(ev.Note, "cutoff") {
+			return "grade-drop"
+		}
+	}
+	return ""
+}
+
+// Record appends one event to the ring and fires the anomaly logic. It does
+// not allocate, so span sampling can tee into an armed recorder from the
+// zero-alloc data plane.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	r.writeLocked(ev)
+	reason := anomalyOf(ev)
+	if ev.Kind == EvDeadlineMiss && r.burstLocked(ev.At) {
+		reason = "deadline-miss-burst"
+	}
+	if reason != "" {
+		r.triggerLocked(reason, ev.At)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) writeLocked(ev Event) {
+	r.ring[r.next] = ev
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// burstLocked registers a deadline miss and reports whether it completes a
+// burst: this miss plus the BurstN-1 before it all inside BurstWindow.
+func (r *Recorder) burstLocked(at time.Time) bool {
+	burst := false
+	if r.missFull {
+		oldest := r.missAt[r.missNext]
+		burst = at.Sub(oldest) <= r.opts.BurstWindow
+	}
+	r.missAt[r.missNext] = at
+	r.missNext++
+	if r.missNext == len(r.missAt) {
+		r.missNext = 0
+		r.missFull = true
+	}
+	return burst
+}
+
+func (r *Recorder) triggerLocked(reason string, at time.Time) {
+	if !r.lastDump.IsZero() && at.Sub(r.lastDump) < r.opts.Cooldown {
+		return
+	}
+	// Mark the trigger inside the window itself, then freeze (or keep
+	// extending) the tail.
+	r.writeLocked(Event{At: at, Kind: EvAnomaly, Note: reason})
+	if r.pending != "" {
+		r.flush.Reset(r.opts.FlushDelay)
+		return
+	}
+	r.pending = reason
+	if r.flush == nil {
+		r.flush = r.clk.AfterFunc(r.opts.FlushDelay, r.doFlush)
+	} else {
+		r.flush.Reset(r.opts.FlushDelay)
+	}
+}
+
+func (r *Recorder) doFlush() {
+	r.mu.Lock()
+	reason := r.pending
+	r.pending = ""
+	if reason == "" {
+		r.mu.Unlock()
+		return
+	}
+	r.scratch = r.appendRingLocked(r.scratch[:0])
+	evs := r.scratch
+	now := r.clk.Now()
+	r.lastDump = now
+	r.dumps++
+	seq := r.dumps
+	sink, dir := r.opts.Sink, r.opts.Dir
+	r.mu.Unlock()
+
+	if sink != nil {
+		sink(reason, evs)
+	}
+	if dir != "" {
+		path := filepath.Join(dir, fmt.Sprintf("flight-%03d.jsonl", seq))
+		err := writeDump(path, reason, now, evs)
+		r.mu.Lock()
+		if err != nil {
+			r.lastErr = err
+		} else {
+			r.lastPath = path
+		}
+		r.mu.Unlock()
+	}
+}
+
+func (r *Recorder) appendRingLocked(buf []Event) []Event {
+	if !r.full {
+		return append(buf, r.ring[:r.next]...)
+	}
+	buf = append(buf, r.ring[r.next:]...)
+	return append(buf, r.ring[:r.next]...)
+}
+
+// writeDump writes one flight file: a header line naming the anomaly, then
+// the window in the trace JSONL schema.
+func writeDump(path, reason string, at time.Time, evs []Event) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "{\"anomaly\":%q,\"at\":%q,\"events\":%d}\n",
+		reason, at.UTC().Format(time.RFC3339Nano), len(evs)); err != nil {
+		return err
+	}
+	return writeEventsJSONL(f, evs)
+}
+
+// Dumps returns how many dumps have been written.
+func (r *Recorder) Dumps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dumps
+}
+
+// LastDumpPath returns the path of the most recent dump file ("" when the
+// recorder has no Dir or nothing dumped yet).
+func (r *Recorder) LastDumpPath() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastPath
+}
+
+// LastErr returns the most recent dump-write error (nil when none).
+func (r *Recorder) LastErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// Pending reports whether an anomaly is awaiting its flush.
+func (r *Recorder) Pending() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending != ""
+}
+
+// Events returns a copy of the ring, oldest first (tests and experiments).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appendRingLocked(nil)
+}

@@ -35,7 +35,9 @@ func NewRegistry() *Registry {
 
 // Label renders a labeled family member name, e.g.
 // Label("buffer_pushed", "stream", "vi/c") → `buffer_pushed{stream=vi/c}`.
-// Pairs must come as key, value, key, value…
+// Pairs must come as key, value, key, value… Values containing reserved
+// characters ({ } = , " or space) are double-quoted with backslash escapes,
+// so distinct label sets can never collide on one rendered name.
 func Label(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -49,10 +51,25 @@ func Label(name string, kv ...string) string {
 		}
 		b.WriteString(kv[i])
 		b.WriteByte('=')
-		b.WriteString(kv[i+1])
+		writeLabelValue(&b, kv[i+1])
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+func writeLabelValue(b *strings.Builder, v string) {
+	if !strings.ContainsAny(v, "{}=,\" \\") {
+		b.WriteString(v)
+		return
+	}
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		if v[i] == '"' || v[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(v[i])
+	}
+	b.WriteByte('"')
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -124,8 +141,30 @@ func (r *Registry) Histogram(name string) *stats.DurationHistogram {
 	return h
 }
 
+// HistogramBounds is Histogram with explicit bucket bounds used on first
+// creation (an existing histogram is returned as-is, whatever its bounds —
+// get-or-create identity wins over bounds).
+func (r *Registry) HistogramBounds(name string, bounds ...time.Duration) *stats.DurationHistogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = stats.NewDurationHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
 // MetricPoint is one instrument's snapshot. For histograms Value is the
-// mean and the quantile fields are set; all durations are milliseconds.
+// mean and the count/min/max/quantile fields are set; every duration field
+// is in milliseconds, as its `_ms` JSON suffix says (BENCH files report
+// microsecond fields with an `_us` suffix — the unit always rides on the
+// name).
 type MetricPoint struct {
 	Name  string  `json:"name"`
 	Kind  string  `json:"kind"` // counter | gauge | highwater | histogram
@@ -134,10 +173,27 @@ type MetricPoint struct {
 	P50   float64 `json:"p50_ms,omitempty"`
 	P95   float64 `json:"p95_ms,omitempty"`
 	P99   float64 `json:"p99_ms,omitempty"`
+	Min   float64 `json:"min_ms,omitempty"`
 	Max   float64 `json:"max_ms,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// FmtMS renders a millisecond quantity with an explicit unit, dropping to
+// µs below 1ms and rising to s above 1000ms, so dashboards stay readable
+// across the µs-scale service-time histograms and the s-scale playout ones.
+func FmtMS(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1:
+		return fmt.Sprintf("%.0fµs", v*1000)
+	case v >= 1000:
+		return fmt.Sprintf("%.2fs", v/1000)
+	default:
+		return fmt.Sprintf("%.1fms", v)
+	}
+}
 
 // Snapshot returns every instrument's current value, sorted by name.
 func (r *Registry) Snapshot() []MetricPoint {
@@ -157,7 +213,8 @@ func (r *Registry) Snapshot() []MetricPoint {
 		out = append(out, MetricPoint{
 			Name: name, Kind: "histogram",
 			Value: ms(h.Mean()), Count: h.N(),
-			P50: ms(h.P50()), P95: ms(h.P95()), P99: ms(h.P99()), Max: ms(h.Max()),
+			P50: ms(h.P50()), P95: ms(h.P95()), P99: ms(h.P99()),
+			Min: ms(h.Min()), Max: ms(h.Max()),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -171,9 +228,9 @@ func (r *Registry) Table() *stats.Table {
 		detail := ""
 		value := fmt.Sprintf("%.0f", p.Value)
 		if p.Kind == "histogram" {
-			value = fmt.Sprintf("%.1fms", p.Value)
-			detail = fmt.Sprintf("n=%d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms",
-				p.Count, p.P50, p.P95, p.P99, p.Max)
+			value = FmtMS(p.Value)
+			detail = fmt.Sprintf("n=%d p50=%s p95=%s p99=%s min=%s max=%s",
+				p.Count, FmtMS(p.P50), FmtMS(p.P95), FmtMS(p.P99), FmtMS(p.Min), FmtMS(p.Max))
 		}
 		tb.AddRow(p.Name, p.Kind, value, detail)
 	}

@@ -3,6 +3,9 @@ package obs
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/stats"
@@ -23,29 +26,55 @@ var (
 // *Scope means telemetry is off, instrument getters return shared no-op
 // instruments, and Emit returns immediately — callers never branch.
 type Scope struct {
-	clk clock.Clock
-	reg *Registry
-	tr  *Trace
+	clk   clock.Clock
+	reg   *Registry
+	tr    *Trace
+	spans *FrameSpans
+	rec   atomic.Pointer[Recorder]
+	ts    atomic.Pointer[TimeSeries]
+
+	// dashMu guards the dashboard's reusable trace-snapshot buffer so the
+	// periodic dump path does not allocate a fresh slice per render.
+	dashMu  sync.Mutex
+	dashEvs []Event
 }
 
 // NewScope creates a scope stamping events with clk's time and a trace
 // ring of DefaultTraceCap events.
 func NewScope(clk clock.Clock) *Scope {
-	return &Scope{clk: clk, reg: NewRegistry(), tr: NewTrace(DefaultTraceCap)}
+	return NewScopeCap(clk, DefaultTraceCap)
 }
 
 // NewScopeCap is NewScope with an explicit trace capacity.
 func NewScopeCap(clk clock.Clock, traceCap int) *Scope {
-	return &Scope{clk: clk, reg: NewRegistry(), tr: NewTrace(traceCap)}
+	s := &Scope{clk: clk, reg: NewRegistry(), tr: NewTrace(traceCap)}
+	s.spans = newFrameSpans(s)
+	return s
 }
 
-// Emit records one trace event stamped with the scope's clock. No-op on a
-// nil scope.
+// Emit records one trace event stamped with the scope's clock, teeing it
+// into the flight recorder when one is armed. No-op on a nil scope.
 func (s *Scope) Emit(k EventKind, stream string, value int64, note string) {
 	if s == nil {
 		return
 	}
-	s.tr.Record(Event{At: s.clk.Now(), Kind: k, Stream: stream, Value: value, Note: note})
+	ev := Event{At: s.clk.Now(), Kind: k, Stream: stream, Value: value, Note: note}
+	s.tr.Record(ev)
+	if r := s.rec.Load(); r != nil {
+		r.Record(ev)
+	}
+}
+
+// Sample records an event into the flight recorder only — high-rate span
+// samples that would flood the main trace ring. No-op on a nil scope or
+// when no recorder is armed.
+func (s *Scope) Sample(k EventKind, stream string, value int64, note string) {
+	if s == nil {
+		return
+	}
+	if r := s.rec.Load(); r != nil {
+		r.Record(Event{At: s.clk.Now(), Kind: k, Stream: stream, Value: value, Note: note})
+	}
 }
 
 // Counter returns the named registry counter (a shared no-op when the
@@ -83,6 +112,66 @@ func (s *Scope) Histogram(name string) *stats.DurationHistogram {
 	return s.reg.Histogram(name)
 }
 
+// HistogramBounds returns the named histogram, created with explicit bucket
+// bounds on first use (a shared no-op when nil).
+func (s *Scope) HistogramBounds(name string, bounds ...time.Duration) *stats.DurationHistogram {
+	if s == nil {
+		return noopHist
+	}
+	return s.reg.HistogramBounds(name, bounds...)
+}
+
+// FrameSpans returns the scope's frame-span recorder (a shared no-op that
+// never samples when the scope is nil). Resolve once at construction, like
+// counters.
+func (s *Scope) FrameSpans() *FrameSpans {
+	if s == nil {
+		return noopSpans
+	}
+	return s.spans
+}
+
+// EnableFlightRecorder arms a flight recorder: from now on every Emit and
+// span sample tees into its ring, and anomalies dump per opts. Returns the
+// recorder (nil on a nil scope).
+func (s *Scope) EnableFlightRecorder(opts RecorderOptions) *Recorder {
+	if s == nil {
+		return nil
+	}
+	r := NewRecorder(s.clk, opts)
+	s.rec.Store(r)
+	return r
+}
+
+// Recorder returns the armed flight recorder (nil when none).
+func (s *Scope) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Load()
+}
+
+// EnableTimeSeries attaches a snapshot time series holding capN samples
+// (DefaultSeriesCap when <= 0). The caller drives it — Sample() at phase
+// boundaries or Start(interval) for periodic sampling — and the dashboard
+// renders its trails. Returns the series (nil on a nil scope).
+func (s *Scope) EnableTimeSeries(capN int) *TimeSeries {
+	if s == nil {
+		return nil
+	}
+	ts := NewTimeSeries(s.clk, s.reg, capN)
+	s.ts.Store(ts)
+	return ts
+}
+
+// Series returns the attached time series (nil when none).
+func (s *Scope) Series() *TimeSeries {
+	if s == nil {
+		return nil
+	}
+	return s.ts.Load()
+}
+
 // Enabled reports whether the scope records anything. Use it to guard
 // event construction that itself allocates (fmt.Sprintf notes).
 func (s *Scope) Enabled() bool { return s != nil }
@@ -103,15 +192,25 @@ func (s *Scope) Trace() *Trace {
 	return s.tr
 }
 
-// Dashboard renders the metric table followed by the last lastN trace
-// events — the live introspection view.
+// Dashboard renders the metric table, the time-series trails (when a
+// series is attached) and the last lastN trace events — the live
+// introspection view. The trace snapshot reuses a buffer across renders.
 func (s *Scope) Dashboard(lastN int) string {
 	if s == nil {
 		return "(telemetry off)\n"
 	}
 	var b strings.Builder
 	b.WriteString(s.reg.Table().String())
-	evs := s.tr.Events()
+	if ts := s.ts.Load(); ts != nil {
+		if trails := ts.Table(8); trails != "" {
+			b.WriteString("\n")
+			b.WriteString(trails)
+		}
+	}
+	s.dashMu.Lock()
+	defer s.dashMu.Unlock()
+	s.dashEvs = s.tr.EventsAppend(s.dashEvs)
+	evs := s.dashEvs
 	if lastN > 0 && len(evs) > lastN {
 		evs = evs[len(evs)-lastN:]
 	}

@@ -70,6 +70,19 @@ const (
 	// EvSendFailure marks a control message the transport reported it could
 	// not deliver (dropped reply, queue overflow, partitioned link).
 	EvSendFailure
+	// EvHeartbeatMiss marks one unanswered session heartbeat (value = the
+	// consecutive miss count); LivenessMisses of these become an EvLiveness.
+	EvHeartbeatMiss
+	// EvFrameSample is a sampled frame-span measurement teed into the flight
+	// recorder (value = hop latency in µs, note = the hop name). It never
+	// enters the main trace ring.
+	EvFrameSample
+	// EvCtrlSpan is a completed control request span teed into the flight
+	// recorder (value = round-trip µs including retransmits, note = message
+	// type).
+	EvCtrlSpan
+	// EvAnomaly marks a flight-recorder trigger (note = the anomaly reason).
+	EvAnomaly
 )
 
 func (k EventKind) String() string {
@@ -108,6 +121,14 @@ func (k EventKind) String() string {
 		return "session-resume"
 	case EvSendFailure:
 		return "send-failure"
+	case EvHeartbeatMiss:
+		return "heartbeat-miss"
+	case EvFrameSample:
+		return "frame-sample"
+	case EvCtrlSpan:
+		return "ctrl-span"
+	case EvAnomaly:
+		return "anomaly"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}
@@ -142,6 +163,12 @@ type Trace struct {
 	next    int
 	full    bool
 	dropped int64
+
+	// dumpMu serializes the dump paths (Count, WriteJSONL) so they can share
+	// one reusable snapshot buffer instead of allocating per call. It is
+	// never held together with mu for longer than one EventsAppend.
+	dumpMu  sync.Mutex
+	dumpBuf []Event
 }
 
 // NewTrace creates a trace holding at most capacity events.
@@ -184,29 +211,34 @@ func (t *Trace) Dropped() int64 {
 	return t.dropped
 }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events, oldest first, in a fresh slice.
+// Periodic consumers should prefer EventsAppend with a reused buffer.
 func (t *Trace) Events() []Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.eventsLocked()
+	return t.EventsAppend(nil)
 }
 
-func (t *Trace) eventsLocked() []Event {
+// EventsAppend appends the retained events, oldest first, to buf (which is
+// truncated first) and returns the extended slice. With a warm buffer of
+// sufficient capacity the call does not allocate, so periodic dumps can
+// snapshot the ring for free.
+func (t *Trace) EventsAppend(buf []Event) []Event {
+	buf = buf[:0]
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.full {
-		out := make([]Event, t.next)
-		copy(out, t.buf[:t.next])
-		return out
+		return append(buf, t.buf[:t.next]...)
 	}
-	out := make([]Event, 0, len(t.buf))
-	out = append(out, t.buf[t.next:]...)
-	out = append(out, t.buf[:t.next]...)
-	return out
+	buf = append(buf, t.buf[t.next:]...)
+	return append(buf, t.buf[:t.next]...)
 }
 
 // Count returns how many retained events match kind (and stream, "" = any).
 func (t *Trace) Count(k EventKind, stream string) int {
+	t.dumpMu.Lock()
+	defer t.dumpMu.Unlock()
+	t.dumpBuf = t.EventsAppend(t.dumpBuf)
 	n := 0
-	for _, ev := range t.Events() {
+	for _, ev := range t.dumpBuf {
 		if ev.Kind == k && (stream == "" || ev.Stream == stream) {
 			n++
 		}
@@ -224,9 +256,17 @@ type jsonEvent struct {
 }
 
 // WriteJSONL writes the retained events as JSON Lines, one event per line,
-// oldest first.
+// oldest first. The ring snapshot reuses a buffer across calls.
 func (t *Trace) WriteJSONL(w io.Writer) error {
-	for _, ev := range t.Events() {
+	t.dumpMu.Lock()
+	defer t.dumpMu.Unlock()
+	t.dumpBuf = t.EventsAppend(t.dumpBuf)
+	return writeEventsJSONL(w, t.dumpBuf)
+}
+
+// writeEventsJSONL renders events in the shared trace JSONL schema.
+func writeEventsJSONL(w io.Writer, evs []Event) error {
+	for _, ev := range evs {
 		line, err := json.Marshal(jsonEvent{
 			At:     ev.At.UTC().Format(time.RFC3339Nano),
 			Kind:   ev.Kind.String(),

@@ -215,6 +215,7 @@ type Player struct {
 
 	// Telemetry (no-ops when Options carried no scope).
 	obs       *obs.Scope
+	spans     *obs.FrameSpans
 	mPlays    *stats.Counter
 	mGaps     *stats.Counter
 	mHolds    *stats.Counter
@@ -231,6 +232,7 @@ func New(clk clock.Clock, sc *scenario.Scenario, sch *scenario.Schedule, bufs *b
 		streams:   map[string]*streamState{},
 		skew:      map[string]*stats.Sample{},
 		obs:       opts.Obs,
+		spans:     opts.Obs.FrameSpans(),
 		mPlays:    opts.Obs.Counter("playout_plays"),
 		mGaps:     opts.Obs.Counter("playout_gaps"),
 		mHolds:    opts.Obs.Counter("playout_holds"),
@@ -425,6 +427,15 @@ func (p *Player) tick(id string) {
 			s.mediaPos = it.Frame.PTS + s.interval
 			p.mPlays.Inc()
 			p.hLateness.Observe(late)
+			if p.spans.Sampled(uint32(it.Frame.Index)) && !it.ArrivedAt.IsZero() {
+				// Deadline slack: how long the frame sat reassembled before
+				// its ideal play instant (0 when it arrived late).
+				slack := p.origin.Add(ideal).Sub(it.ArrivedAt)
+				if slack < 0 {
+					slack = 0
+				}
+				p.spans.RecordSlack(id, slack)
+			}
 			p.disp.Record(Event{At: at, StreamID: id, Kind: EvPlay, Frame: it.Frame, Lateness: late})
 		} else {
 			// Underflow: conceal with a duplicate; media position holds.

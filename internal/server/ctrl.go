@@ -32,8 +32,16 @@ func dedupable(mt protocol.MsgType) bool {
 	return false
 }
 
-// handle dispatches one control packet.
+// handle dispatches one control packet, observing the wall time spent in
+// the handler (decode, dedup check, and the message's own work) into the
+// server_ctrl_handle histogram.
 func (s *Server) handle(pkt netsim.Packet) {
+	t0 := time.Now()
+	s.handlePacket(pkt)
+	s.hHandle.Observe(time.Since(t0))
+}
+
+func (s *Server) handlePacket(pkt netsim.Packet) {
 	mt, reqID, body, err := protocol.DecodeReq(pkt.Payload)
 	if err != nil {
 		return

@@ -10,6 +10,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/clock"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/qos"
 )
@@ -82,6 +83,16 @@ type ControlPlaneResult struct {
 	// Whole-run control-plane lock pressure (write side, all shards).
 	LockAcqsTotal  int64 `json:"lock_acqs_total"`
 	LockHeldMicros int64 `json:"lock_held_us"`
+
+	// Control-span distributions (µs): per-request handler service time,
+	// shard lock wait (merged across shards), and liveness sweep tick cost.
+	HandleP50    float64 `json:"handle_p50_us"`
+	HandleP95    float64 `json:"handle_p95_us"`
+	HandleP99    float64 `json:"handle_p99_us"`
+	HandleMax    float64 `json:"handle_max_us"`
+	LockWaitP99  float64 `json:"lock_wait_p99_us"`
+	LockWaitMax  float64 `json:"lock_wait_max_us"`
+	SweepTickP99 float64 `json:"sweep_tick_p99_us"`
 }
 
 // RunControlPlaneLoad runs the three phases described above and validates
@@ -102,10 +113,12 @@ func RunControlPlaneLoad(cfg ControlPlaneConfig) (ControlPlaneResult, error) {
 	}, clk.Now()); err != nil {
 		return res, err
 	}
+	scope := obs.NewScope(clk)
 	srv, err := New("srv", clk, net, users, NewDatabase(), Options{
 		Capacity:       1e12, // admission must not cap the fleet
 		Grace:          time.Hour,
 		HeartbeatEvery: time.Second,
+		Obs:            scope,
 		// Keep every session's liveness deadline beyond the sweep phase so
 		// the measured ticks see full wheels with nothing due.
 		LivenessMisses: cfg.SweepTicks + 60,
@@ -228,5 +241,16 @@ func RunControlPlaneLoad(cfg ControlPlaneConfig) (ControlPlaneResult, error) {
 	acqs, held := srv.LockStats()
 	res.LockAcqsTotal = acqs
 	res.LockHeldMicros = held.Microseconds()
+
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	res.HandleP50 = us(srv.hHandle.P50())
+	res.HandleP95 = us(srv.hHandle.P95())
+	res.HandleP99 = us(srv.hHandle.P99())
+	res.HandleMax = us(srv.hHandle.Max())
+	if lw := srv.LockWaitHist(); lw != nil {
+		res.LockWaitP99 = us(lw.P99())
+		res.LockWaitMax = us(lw.Max())
+	}
+	res.SweepTickP99 = us(srv.hLiveTick.P99())
 	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/hml"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/qos"
 )
@@ -38,6 +39,10 @@ type DataPlaneConfig struct {
 	// it under the 5 s RTCP sender-report period so the window contains
 	// nothing but media pacing.
 	PacedWindow time.Duration
+	// DisableObs runs without a telemetry scope (and thus without frame
+	// spans); the overhead benchmark pairs a run against a default run to
+	// price the sampled span instrumentation.
+	DisableObs bool
 }
 
 func (c *DataPlaneConfig) fill() {
@@ -88,6 +93,15 @@ type DataPlaneResult struct {
 	// Whole-run control-plane lock pressure.
 	LockAcqsTotal  int64 `json:"lock_acqs_total"`
 	LockHeldMicros int64 `json:"lock_held_us"`
+
+	// Frame-span emit→wire hop (µs), from the 1-in-SpanSampleEvery sampled
+	// frames. Zero when DisableObs.
+	SpanSampleEvery int     `json:"span_sample_every"`
+	SpanFrames      int64   `json:"span_frames"`
+	EmitToWireP50   float64 `json:"emit_to_wire_p50_us"`
+	EmitToWireP95   float64 `json:"emit_to_wire_p95_us"`
+	EmitToWireP99   float64 `json:"emit_to_wire_p99_us"`
+	EmitToWireMax   float64 `json:"emit_to_wire_max_us"`
 }
 
 // sinkNet is the harness transport: a netsim.Net whose Send costs two atomic
@@ -150,8 +164,15 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 	if err := db.Put("lesson", hml.LessonSource("bench", 2, time.Minute), "load doc"); err != nil {
 		return res, err
 	}
+	// Telemetry is ON by default: the alloc and lock gates below prove the
+	// sampled span instrumentation rides the emit path for free.
+	var scope *obs.Scope
+	if !cfg.DisableObs {
+		scope = obs.NewScope(clk)
+	}
 	srv, err := New("srv", clk, net, users, db, Options{
 		Capacity: 1e12, // admission must not cap the fleet
+		Obs:      scope,
 	})
 	if err != nil {
 		return res, err
@@ -273,5 +294,15 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 	acqs, held := srv.LockStats()
 	res.LockAcqsTotal = acqs
 	res.LockHeldMicros = held.Microseconds()
+
+	if scope != nil {
+		h := scope.FrameSpans().EmitToWire()
+		res.SpanSampleEvery = int(scope.FrameSpans().SampleEvery())
+		res.SpanFrames = h.N()
+		res.EmitToWireP50 = us(h.P50())
+		res.EmitToWireP95 = us(h.P95())
+		res.EmitToWireP99 = us(h.P99())
+		res.EmitToWireMax = us(h.Max())
+	}
 	return res, nil
 }

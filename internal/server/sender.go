@@ -164,6 +164,17 @@ func (sn *sender) emitFrameLocked() bool {
 		sn.skipped++
 		return true
 	}
+	// Sampled frame span, hop 1 (emit→wire): wall-clock service time from
+	// here to the last fragment handed to the transport. The 1-in-N decision
+	// keys on the frame index the wire header carries, so the client samples
+	// the same frames for the downstream hops. Allocation-free: two wall
+	// stamps and an atomic histogram observe.
+	spanned := sn.srv.spans.Sampled(uint32(i))
+	var spanT0 time.Time
+	if spanned {
+		spanT0 = time.Now()
+	}
+
 	frame := sn.src.FrameAt(i, level)
 	sn.rtpS.PayloadType = sn.src.PayloadType(level)
 
@@ -214,6 +225,9 @@ func (sn *sender) emitFrameLocked() bool {
 	sn.srv.mFrames.Inc()
 	sn.srv.mPackets.Add(int64(fragCount))
 	sn.srv.mBytes.Add(int64(frame.Size))
+	if spanned {
+		sn.srv.spans.RecordEmit(sn.stream.ID, time.Since(spanT0))
+	}
 	return true
 }
 

@@ -110,6 +110,14 @@ type Server struct {
 	mFrames  *stats.Counter
 	mPackets *stats.Counter
 	mBytes   *stats.Counter
+
+	// Latency-span instruments, likewise resolved once (shared no-ops when
+	// telemetry is off): sampled frame spans for the emit→wire hop, the
+	// control-dispatch service time, and the sweep-tick wall durations.
+	spans      *obs.FrameSpans
+	hHandle    *stats.DurationHistogram
+	hLiveTick  *stats.DurationHistogram
+	hDedupTick *stats.DurationHistogram
 }
 
 // session is one client's server-side state.
@@ -187,6 +195,15 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 	s.mFrames = opts.Obs.Counter("server_media_frames_sent")
 	s.mPackets = opts.Obs.Counter("server_media_packets_sent")
 	s.mBytes = opts.Obs.Counter("server_media_bytes_sent")
+	s.spans = opts.Obs.FrameSpans()
+	s.hHandle = opts.Obs.HistogramBounds("server_ctrl_handle", stats.MicroLatencyBounds()...)
+	s.hLiveTick = opts.Obs.HistogramBounds("server_sweep_live_tick", stats.MicroLatencyBounds()...)
+	s.hDedupTick = opts.Obs.HistogramBounds("server_sweep_dedup_tick", stats.MicroLatencyBounds()...)
+	for i := range s.shards {
+		s.shards[i].mu.hWait = opts.Obs.HistogramBounds(
+			obs.Label("server_lock_wait", "shard", fmt.Sprintf("%02d", i)),
+			stats.MicroLatencyBounds()...)
+	}
 	if err := net.Listen(s.ctrlAddr(), s.handle); err != nil {
 		return nil, fmt.Errorf("server %s: %w", name, err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/qos"
+	"repro/internal/stats"
 )
 
 // The control plane is sharded: session state and the dedup reply caches
@@ -41,8 +42,10 @@ func shardIndex(key string) int {
 
 // lockMeter is one shard's control-plane mutex, instrumented so the
 // data-plane benchmark can prove the per-frame emit path never touches it:
-// it counts acquisitions and accumulates wall-clock hold time. The two
-// time.Now calls per acquisition cost tens of nanoseconds on control-plane
+// it counts acquisitions, accumulates wall-clock hold time, and (when the
+// server has a telemetry scope) feeds a per-shard wait histogram so lock
+// contention shows up as a distribution, not just a total. The few time.Now
+// calls per acquisition cost tens of nanoseconds on control-plane
 // operations that each do map work and I/O — negligible — and buy a direct
 // measurement of control-lock pressure. Read-side acquisitions are
 // unmetered: they exist precisely so read-only accessors can be served
@@ -52,13 +55,22 @@ type lockMeter struct {
 	acqs     atomic.Int64
 	heldNS   atomic.Int64
 	lockedAt time.Time // guarded by mu: written after Lock, read before Unlock
+	// hWait observes the wall time each Lock spent waiting. Set once at
+	// Server.New (a shared no-op when telemetry is off), before any
+	// concurrent use, so reads need no synchronization.
+	hWait *stats.DurationHistogram
 }
 
 // Lock acquires the shard lock for writing.
 func (m *lockMeter) Lock() {
+	t0 := time.Now()
 	m.mu.Lock()
 	m.acqs.Add(1)
-	m.lockedAt = time.Now()
+	now := time.Now()
+	if m.hWait != nil {
+		m.hWait.Observe(now.Sub(t0))
+	}
+	m.lockedAt = now
 }
 
 // Unlock releases the shard lock, accounting the hold.
@@ -205,6 +217,22 @@ func (s *Server) LockStats() (acqs int64, held time.Duration) {
 		held += h
 	}
 	return acqs, held
+}
+
+// LockWaitHist merges the per-shard lock-wait histograms into one fresh
+// distribution, so harnesses can report wait quantiles across the whole
+// control plane. Nil when the server has no telemetry scope.
+func (s *Server) LockWaitHist() *stats.DurationHistogram {
+	if !s.opts.Obs.Enabled() {
+		return nil
+	}
+	merged := stats.NewDurationHistogram(stats.MicroLatencyBounds()...)
+	for i := range s.shards {
+		if h := s.shards[i].mu.hWait; h != nil {
+			h.AddTo(merged)
+		}
+	}
+	return merged
 }
 
 // Sessions returns the number of live sessions. Served from a counter the

@@ -150,6 +150,8 @@ func (s *Server) scheduleLivenessLocked(sh *ctrlShard, si int, sess *session) {
 // tick re-arms only while the wheel holds entries, so an idle server's
 // virtual clock can still drain.
 func (s *Server) liveTick(si int) {
+	t0 := time.Now()
+	defer func() { s.hLiveTick.Observe(time.Since(t0)) }()
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	now := s.clk.Now()
@@ -182,6 +184,8 @@ func (s *Server) liveTick(si int) {
 // belong to live sessions stops ticking entirely (and a virtual clock can
 // drain), instead of re-arming every TTL forever.
 func (s *Server) dedupTick(si int) {
+	t0 := time.Now()
+	defer func() { s.hDedupTick.Observe(time.Since(t0)) }()
 	sh := &s.shards[si]
 	// Session liveness is consulted under sh.mu; rings live under sh.dmu
 	// (mu → dmu, matching the handler path's order).

@@ -23,6 +23,7 @@ type DurationHistogram struct {
 	n      atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 	max    atomic.Int64 // nanoseconds high-water
+	minp1  atomic.Int64 // nanoseconds low-water plus one; 0 = no observations
 }
 
 // DefaultLatencyBounds covers 1ms..10s in roughly 1-2-5 steps — suitable
@@ -33,6 +34,20 @@ func DefaultLatencyBounds() []time.Duration {
 		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
 		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
 		time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+	}
+}
+
+// MicroLatencyBounds covers 10µs..100ms in roughly 1-2-5 steps — suitable
+// for in-process service times (emit path, control handlers, lock waits,
+// sweep ticks) whose whole distribution sits below DefaultLatencyBounds'
+// first bucket.
+func MicroLatencyBounds() []time.Duration {
+	return []time.Duration{
+		10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+		100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond,
 	}
 }
 
@@ -70,6 +85,12 @@ func (h *DurationHistogram) Observe(d time.Duration) {
 			break
 		}
 	}
+	for {
+		cur := h.minp1.Load()
+		if (cur != 0 && int64(d)+1 >= cur) || h.minp1.CompareAndSwap(cur, int64(d)+1) {
+			break
+		}
+	}
 }
 
 // N returns the number of observations.
@@ -86,6 +107,43 @@ func (h *DurationHistogram) Mean() time.Duration {
 
 // Max returns the largest observation (0 when empty).
 func (h *DurationHistogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min returns the smallest observation (0 when empty).
+func (h *DurationHistogram) Min() time.Duration {
+	v := h.minp1.Load()
+	if v == 0 {
+		return 0
+	}
+	return time.Duration(v - 1)
+}
+
+// AddTo folds this histogram's buckets and aggregates into dst, which must
+// have identical bounds. It lets per-shard histograms be merged into one
+// distribution for quantile reporting; the merge is not atomic with respect
+// to concurrent observes (monitoring semantics, like Quantile).
+func (h *DurationHistogram) AddTo(dst *DurationHistogram) {
+	if len(dst.bounds) != len(h.bounds) {
+		panic("stats: AddTo between histograms with different bounds")
+	}
+	for i := range h.bounds {
+		if dst.bounds[i] != h.bounds[i] {
+			panic("stats: AddTo between histograms with different bounds")
+		}
+	}
+	for i := range h.counts {
+		dst.counts[i].Add(h.counts[i].Load())
+	}
+	dst.n.Add(h.n.Load())
+	dst.sum.Add(h.sum.Load())
+	if m := h.max.Load(); m > dst.max.Load() {
+		dst.max.Store(m)
+	}
+	if m := h.minp1.Load(); m != 0 {
+		if cur := dst.minp1.Load(); cur == 0 || m < cur {
+			dst.minp1.Store(m)
+		}
+	}
+}
 
 // Bucket returns bucket i's count; i == len(Bounds()) is the overflow
 // bucket (observations above the last bound).
@@ -152,12 +210,13 @@ func (h *DurationHistogram) P99() time.Duration { return h.Quantile(0.99) }
 // String renders a one-line summary (count, mean and the three quantiles).
 func (h *DurationHistogram) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms",
+	fmt.Fprintf(&b, "n=%d mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms min=%.1fms max=%.1fms",
 		h.N(),
 		float64(h.Mean())/float64(time.Millisecond),
 		float64(h.P50())/float64(time.Millisecond),
 		float64(h.P95())/float64(time.Millisecond),
 		float64(h.P99())/float64(time.Millisecond),
+		float64(h.Min())/float64(time.Millisecond),
 		float64(h.Max())/float64(time.Millisecond))
 	return b.String()
 }

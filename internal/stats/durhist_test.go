@@ -186,3 +186,82 @@ func TestDurationHistogramBadBoundsPanics(t *testing.T) {
 	}()
 	NewDurationHistogram(2*time.Millisecond, time.Millisecond)
 }
+
+func TestDurationHistogramMinTracking(t *testing.T) {
+	h := NewDurationHistogram()
+	if got := h.Min(); got != 0 {
+		t.Fatalf("empty min = %v, want 0", got)
+	}
+	h.Observe(30 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(80 * time.Millisecond)
+	if got := h.Min(); got != 5*time.Millisecond {
+		t.Fatalf("min = %v, want 5ms", got)
+	}
+	if got := h.Max(); got != 80*time.Millisecond {
+		t.Fatalf("max = %v, want 80ms", got)
+	}
+	// A genuine zero observation is distinguishable from "empty".
+	h.Observe(0)
+	if got := h.Min(); got != 0 {
+		t.Fatalf("min after zero observation = %v, want 0", got)
+	}
+	if h.N() != 4 {
+		t.Fatalf("n = %d", h.N())
+	}
+}
+
+func TestDurationHistogramAddToMerge(t *testing.T) {
+	a := NewDurationHistogram(MicroLatencyBounds()...)
+	b := NewDurationHistogram(MicroLatencyBounds()...)
+	a.Observe(15 * time.Microsecond)
+	a.Observe(40 * time.Microsecond)
+	b.Observe(300 * time.Microsecond)
+	dst := NewDurationHistogram(MicroLatencyBounds()...)
+	a.AddTo(dst)
+	b.AddTo(dst)
+	if got := dst.N(); got != 3 {
+		t.Fatalf("merged n = %d, want 3", got)
+	}
+	if got := dst.Min(); got != 15*time.Microsecond {
+		t.Fatalf("merged min = %v", got)
+	}
+	if got := dst.Max(); got != 300*time.Microsecond {
+		t.Fatalf("merged max = %v", got)
+	}
+	if got := dst.Mean(); got != (15+40+300)*time.Microsecond/3 {
+		t.Fatalf("merged mean = %v", got)
+	}
+	// Per-bucket counts carried over: the p99 lands in b's bucket.
+	if q := dst.P99(); q < 200*time.Microsecond {
+		t.Fatalf("merged p99 = %v, want the 500µs bucket region", q)
+	}
+}
+
+func TestDurationHistogramAddToBoundsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddTo across different bounds did not panic")
+		}
+	}()
+	NewDurationHistogram(MicroLatencyBounds()...).AddTo(NewDurationHistogram())
+}
+
+func TestMicroLatencyBoundsShape(t *testing.T) {
+	bs := MicroLatencyBounds()
+	if bs[0] != 10*time.Microsecond || bs[len(bs)-1] != 100*time.Millisecond {
+		t.Fatalf("bounds span %v..%v", bs[0], bs[len(bs)-1])
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, bs)
+		}
+	}
+	// A µs-scale service time must resolve below DefaultLatencyBounds' first
+	// bucket (the reason the micro bounds exist).
+	h := NewDurationHistogram(bs...)
+	h.Observe(42 * time.Microsecond)
+	if q := h.P50(); q > time.Millisecond {
+		t.Fatalf("42µs observation quantizes to %v under micro bounds", q)
+	}
+}
