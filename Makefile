@@ -14,15 +14,20 @@
 # and the timer-wheel sweep cost at 1k/10k/100k resident sessions, writes
 # BENCH_controlplane.json, and fails if the per-tick sweep cost is not
 # sublinear in resident sessions (the gate lives in
-# internal/experiments/ctrlbench.go). `make bench-verify` re-validates the
+# internal/experiments/ctrlbench.go). `make bench-cluster` runs the
+# federated-cluster load/chaos harness (flash-crowd redirects, signed
+# cross-server handoffs, a mid-lesson shard kill) and writes
+# BENCH_cluster.json, failing unless every session on the killed server
+# recovers onto a replica. `make bench-verify` re-validates the
 # committed BENCH_*.json artifacts against their schemas and gates (paced
-# lock/alloc invariants, span-overhead ceiling, sweep sublinearity) without
-# re-running the benchmarks, so `make check` catches a stale or
-# hand-mangled artifact deterministically.
+# lock/alloc invariants, span-overhead ceiling, sweep sublinearity, the
+# cluster zero-lost-sessions invariant) without re-running the benchmarks,
+# so `make check` catches a stale or hand-mangled artifact
+# deterministically.
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-dataplane bench-controlplane bench-verify
+.PHONY: check vet build test race chaos bench-dataplane bench-controlplane bench-cluster bench-verify
 
 check: vet build test race bench-verify
 
@@ -36,7 +41,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/... ./internal/client/... ./internal/server/... ./internal/media/... ./internal/rtp/...
+	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/... ./internal/client/... ./internal/server/... ./internal/media/... ./internal/rtp/... ./internal/cluster/...
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/...
@@ -48,6 +53,9 @@ bench-dataplane:
 bench-controlplane:
 	$(GO) test -bench BenchmarkControlPlane -benchmem -benchtime 1x -run '^$$' ./internal/server/
 	$(GO) run ./cmd/experiments -controlplane BENCH_controlplane.json
+
+bench-cluster:
+	$(GO) run ./cmd/experiments -cluster BENCH_cluster.json
 
 bench-verify:
 	$(GO) run ./cmd/experiments -verify-bench .

@@ -24,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. F2,E3); empty = all")
 	dataplane := flag.String("dataplane", "", "run the data-plane load benchmark and write its JSON results to this path")
 	controlplane := flag.String("controlplane", "", "run the control-plane load benchmark and write its JSON results to this path")
+	clusterOut := flag.String("cluster", "", "run the federated-cluster load/chaos benchmark and write its JSON results to this path")
 	verifyBench := flag.String("verify-bench", "", "validate every committed BENCH_*.json under this directory against its schema and gates, then exit")
 	flag.Parse()
 
@@ -54,6 +55,26 @@ func main() {
 		}
 		fmt.Println(tb)
 		fmt.Printf("wrote %s\n", *controlplane)
+		return
+	}
+
+	if *clusterOut != "" {
+		tb, results, err := experiments.Cluster(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*clusterOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+		fmt.Printf("wrote %s\n", *clusterOut)
 		return
 	}
 
@@ -162,6 +183,10 @@ func main() {
 	if sel("E12") {
 		tb, err := experiments.E12FlightRecorder(*seed)
 		show("E12", tb, err)
+	}
+	if sel("E13") {
+		tb, err := experiments.E13Cluster()
+		show("E13", tb, err)
 	}
 	if sel("A1") {
 		tb, err := experiments.A1DegradeOrder(*seed)

@@ -54,6 +54,8 @@ func main() {
 	livenessMisses := flag.Int("liveness-misses", 3, "unanswered heartbeats before the server is declared dead")
 	retryTimeout := flag.Duration("retry-timeout", 750*time.Millisecond, "initial control-request reply timeout")
 	retryAttempts := flag.Int("retry-attempts", 5, "control-request transmissions before giving up")
+	peers := flag.String("peers", "", "comma-separated replica servers seeding the failover/redirect set")
+	redirectHops := flag.Int("max-redirect-hops", 3, "admission redirects followed before giving up")
 	flag.Parse()
 
 	scope := obs.NewScope(clock.NewWall())
@@ -64,21 +66,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := client.New(*hostname, clock.NewWall(), live, client.Options{
+	copts := client.Options{
 		User: *user, Password: *password, Class: qos.Standard,
 		AutoFollowLinks:   true,
 		HeartbeatInterval: *heartbeatEvery,
 		LivenessMisses:    *livenessMisses,
 		RetryTimeout:      *retryTimeout,
 		RetryAttempts:     *retryAttempts,
+		MaxRedirectHops:   *redirectHops,
 		Obs:               scope,
-	})
+	}
+	if *peers != "" {
+		copts.Peers = strings.Split(*peers, ",")
+	}
+	c, err := client.New(*hostname, clock.NewWall(), live, copts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermes:", err)
 		os.Exit(1)
 	}
 	// Runs before the deferred live.Close(), so the snapshot is complete.
 	defer func() {
+		fmt.Fprintf(os.Stderr, "hermes: cluster redirects followed=%d handoffs=%d completed=%d fallbacks=%d\n",
+			scope.Counter("client_redirects_followed").Value(),
+			scope.Counter("client_handoffs").Value(),
+			scope.Counter("client_handoffs_completed").Value(),
+			scope.Counter("client_handoff_fallbacks").Value())
 		fmt.Fprint(os.Stderr, live.Metrics().Table())
 		if *tracePath == "" {
 			return
@@ -97,11 +109,19 @@ func main() {
 
 	fmt.Printf("hermes: connecting to %s as %s...\n", *serverName, *user)
 	c.Connect(*serverName)
-	waitUntil(3*time.Second, func() bool { return c.LastConnect() != nil })
+	// A Redirect answer is not terminal: the client is already backing off
+	// toward a less-loaded peer, so keep waiting for the hop to resolve.
+	waitUntil(5*time.Second, func() bool {
+		lc := c.LastConnect()
+		return lc != nil && !lc.Redirect
+	})
 	lc := c.LastConnect()
 	switch {
 	case lc == nil:
 		fmt.Println("hermes: no answer from server")
+		os.Exit(1)
+	case lc.Redirect:
+		fmt.Printf("hermes: redirected but no peer admitted us: %s\n", lc.Reason)
 		os.Exit(1)
 	case lc.OK:
 		fmt.Printf("hermes: connected (session %s)\n", lc.SessionID)

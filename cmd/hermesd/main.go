@@ -7,6 +7,8 @@
 //	hermesd -name hermes-a                      # serve a generated course
 //	hermesd -name hermes-a -lessons ./lessons   # serve *.hml from a directory
 //	hermesd -name hermes-a -peers hermes-b      # federate search
+//	hermesd -peers hermes-b -placement lec=hermes-a+hermes-b \
+//	        -redirect-watermark 0.8 -cluster-key secret   # cluster mode
 //	hermesd -metrics-every 10s                  # periodic telemetry dump
 //	hermesd -trace trace.jsonl                  # write event trace on exit
 //	hermesd -series series.jsonl                # write metric time series on exit
@@ -44,6 +46,10 @@ func main() {
 	heartbeatEvery := flag.Duration("heartbeat-every", time.Second, "expected client heartbeat spacing")
 	livenessMisses := flag.Int("liveness-misses", 3, "missed heartbeats before a session is auto-suspended")
 	peers := flag.String("peers", "", "comma-separated peer server names for federated search")
+	placement := flag.String("placement", "", "cluster document placement map, doc=srvA+srvB,doc2=srvB (enables redirect/handoff)")
+	redirectWatermark := flag.Float64("redirect-watermark", 0, "redirect fresh connects once reserved bandwidth reaches this fraction of capacity (0 = off)")
+	sessionWatermark := flag.Int("session-watermark", 0, "redirect fresh connects once this many sessions are resident (0 = off)")
+	clusterKey := flag.String("cluster-key", "", "shared HMAC key signing cross-server handoff tickets (empty = unsigned handoffs)")
 	hostmap := flag.String("hosts", "", "host=ip overrides (host=127.0.0.5,...)")
 	testuser := flag.Bool("testuser", true, "pre-subscribe user student/pw")
 	metricsEvery := flag.Duration("metrics-every", 0, "dump the telemetry dashboard periodically (0 = only at exit)")
@@ -104,13 +110,27 @@ func main() {
 		}
 	}
 
-	srv, err := server.New(*name, clock.NewWall(), live, users, db, server.Options{
-		Capacity:       *capacity,
-		Grace:          *grace,
-		HeartbeatEvery: *heartbeatEvery,
-		LivenessMisses: *livenessMisses,
-		Obs:            scope,
-	})
+	sopts := server.Options{
+		Capacity:          *capacity,
+		Grace:             *grace,
+		HeartbeatEvery:    *heartbeatEvery,
+		LivenessMisses:    *livenessMisses,
+		Obs:               scope,
+		RedirectWatermark: *redirectWatermark,
+		SessionWatermark:  *sessionWatermark,
+	}
+	if *placement != "" {
+		dir, err := server.ParsePlacement(*placement)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hermesd:", err)
+			os.Exit(2)
+		}
+		sopts.Directory = dir
+	}
+	if *clusterKey != "" {
+		sopts.ClusterKey = []byte(*clusterKey)
+	}
+	srv, err := server.New(*name, clock.NewWall(), live, users, db, sopts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermesd:", err)
 		os.Exit(1)
@@ -148,6 +168,10 @@ func main() {
 	<-sig
 	close(stopDump)
 	fmt.Println("hermesd: shutting down")
+	fmt.Printf("hermesd: cluster redirects=%d handoffs issued=%d accepted=%d\n",
+		scope.Counter("cluster_redirects").Value(),
+		scope.Counter("cluster_handoffs").Value(),
+		scope.Counter("cluster_handoff_accepts").Value())
 	fmt.Print(scope.Registry().Table())
 	fmt.Print(live.Metrics().Table())
 	if *tracePath != "" {

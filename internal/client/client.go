@@ -72,6 +72,12 @@ type Options struct {
 	// RetryAttempts bounds retransmissions of requests without an explicit
 	// deadline.
 	RetryAttempts int
+	// MaxRedirectHops bounds how many admission redirects the client follows
+	// in one connect episode before giving up.
+	MaxRedirectHops int
+	// Peers seeds the failover/redirect replica set before the first
+	// successful connect advertises one (the hermes -peers flag).
+	Peers []string
 	// DisableHeartbeat turns the liveness probing off (for experiments
 	// isolating the control plane).
 	DisableHeartbeat bool
@@ -122,6 +128,9 @@ func (o *Options) fill() {
 	}
 	if o.RetryAttempts <= 0 {
 		o.RetryAttempts = 5
+	}
+	if o.MaxRedirectHops <= 0 {
+		o.MaxRedirectHops = 3
 	}
 }
 
@@ -220,6 +229,16 @@ type Client struct {
 	recovering      string
 	recoverDeadline time.Time
 	failedPeers     map[string]bool
+
+	// Cluster episode state (cluster.go): admission-redirect following with
+	// bounded hops, and the in-flight cross-server handoff.
+	redirectHops  int
+	redirectTried map[string]bool
+	handoffFrom   string // source server of the in-flight handoff ("" none)
+	handoffTicket *protocol.HandoffTicket
+	handoffPeers  []string // replicas advertised with the handoff
+	handoffStart  time.Time
+	hHandoff      *stats.DurationHistogram // handoff_latency, resolved at New
 }
 
 // navEntry is one visited document in the navigation stacks.
@@ -305,6 +324,8 @@ func New(host string, clk clock.Clock, net netsim.Net, opts Options) (*Client, e
 	}
 	c.spans = opts.Obs.FrameSpans()
 	c.hCtrlRTT = opts.Obs.Histogram("client_ctrl_rtt")
+	c.hHandoff = opts.Obs.Histogram("handoff_latency")
+	c.peers = append([]string(nil), opts.Peers...)
 	if err := net.Listen(c.ctrlAddr(), c.handleCtrl); err != nil {
 		return nil, fmt.Errorf("client %s: %w", host, err)
 	}

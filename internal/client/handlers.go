@@ -117,7 +117,15 @@ func (c *Client) onConnectResult(from string, m protocol.ConnectResult) {
 		if len(m.Peers) > 0 {
 			c.peers = append([]string(nil), m.Peers...)
 		}
-		c.failedPeers = map[string]bool{}
+		// A server is serving us again: any failover/redirect episode is
+		// over. Replicas that failed during it become eligible again for
+		// later, unrelated episodes — failedPeers must not be sticky across
+		// episodes, or a once-failed replica is shunned forever.
+		if len(c.failedPeers) > 0 {
+			c.failedPeers = map[string]bool{}
+		}
+		c.redirectHops = 0
+		c.redirectTried = nil
 		recovered := c.recovering == from
 		if recovered {
 			c.recovering = ""
@@ -157,12 +165,21 @@ func (c *Client) onConnectResult(from string, m protocol.ConnectResult) {
 			mach.Apply(protocol.InAuthNeedSubscribe)
 		}
 		c.logEvent("subscription required at " + from)
+	} else if m.Redirect {
+		// Load-aware admission redirect: retry at a less-loaded peer.
+		c.onRedirectLocked(from, m)
 	} else if m.SessionLost && c.recovering == from {
 		// The server came back but restarted without our session: the
 		// grace window cannot help, fail over now.
 		c.lastError = m.Reason
 		c.logEvent("session lost at " + from)
 		c.failoverLocked(from)
+	} else if c.handoffFrom != "" && from != c.handoffFrom {
+		// The handoff target answered but refused (bad ticket, admission
+		// reject): treat like an unreachable target and fall back.
+		c.lastError = m.Reason
+		c.logEvent("handoff refused by " + from + ": " + m.Reason)
+		c.handoffConnectFailedLocked(from)
 	} else {
 		if mach.Can(protocol.InAuthReject) {
 			mach.Apply(protocol.InAuthReject)
@@ -221,12 +238,35 @@ func (c *Client) onDocResponse(from string, m protocol.DocResponse) {
 	defer c.mu.Unlock()
 	mach := c.machine(from)
 	if !m.OK {
+		if m.Redirect != "" {
+			// The document is homed on another server: the source suspended
+			// our session and hands us off there.
+			c.onDocHandoffLocked(from, m)
+			return
+		}
 		if mach.Can(protocol.InDocFail) {
 			mach.Apply(protocol.InDocFail)
 		}
 		c.lastError = m.Reason
 		c.logEvent("document failed: " + m.Reason)
+		if c.handoffFrom != "" && from != c.handoffFrom {
+			// The handoff target could not serve the document after all.
+			c.clearHandoffLocked()
+		}
 		return
+	}
+	if len(m.Peers) > 0 {
+		// Per-document replica set: failover while viewing this document
+		// must land on a server that holds it.
+		c.peers = append([]string(nil), m.Peers...)
+	}
+	if c.handoffFrom != "" && from != c.handoffFrom && !c.handoffStart.IsZero() {
+		lat := c.clk.Now().Sub(c.handoffStart)
+		c.hHandoff.Observe(lat)
+		c.opts.Obs.Counter("client_handoffs_completed").Inc()
+		c.opts.Obs.Emit(obs.EvHandoff, from, lat.Microseconds(), "handoff complete: "+m.Name)
+		c.logEvent("handoff complete → " + from)
+		c.clearHandoffLocked()
 	}
 	sc, err := scenario.Parse(m.ScenarioSrc)
 	if err != nil {

@@ -210,6 +210,11 @@ func (c *Client) onHeartbeatAck(from string, m protocol.HeartbeatAck) {
 	if m.OK {
 		c.hbAwait = false
 		c.hbMisses = 0
+		// Every ack refreshes the per-document replica set, so failover
+		// targets track the document being viewed and placement changes.
+		if len(m.Peers) > 0 {
+			c.peers = append([]string(nil), m.Peers...)
+		}
 		return
 	}
 	// The server answers but holds no session for us: it restarted and

@@ -1,0 +1,260 @@
+// RunClusterLoad is the cluster-scale load + chaos harness behind `make
+// bench-cluster`: a flash crowd of clients aims at one server of a
+// three-server federation, the admission watermark spreads them by
+// in-protocol redirects, a subset navigates to a document homed on another
+// server (exercising the signed handoff path), and the crowded server is
+// killed mid-lesson so every one of its sessions must fail over onto a
+// replica actually holding the lesson. The result carries the redirect
+// rate, handoff latency quantiles, and the zero-lost-sessions invariant
+// that BENCH_cluster.json pins.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/qos"
+	"repro/internal/server"
+)
+
+// hotLesson is the flash-crowd target: long enough that the kill lands in
+// the middle of every playout.
+const hotLesson = `<TITLE>hot lecture</TITLE>
+<TEXT>the lesson everyone wants</TEXT>
+<AU_VI SOURCE=au/n SOURCE=vi/c ID=n ID=cv STARTIME=0 DURATION=120> </AU_VI>`
+
+// satelliteLesson is homed on a single server, so reaching it from anywhere
+// else requires a cross-server handoff.
+const satelliteLesson = `<TITLE>satellite seminar</TITLE>
+<TEXT>the lesson homed elsewhere</TEXT>
+<AU_VI SOURCE=au/n SOURCE=vi/c ID=n ID=cv STARTIME=0 DURATION=120> </AU_VI>`
+
+// LoadConfig parameterizes RunClusterLoad. Zero values take the defaults
+// noted per field.
+type LoadConfig struct {
+	Servers int   // federation size (default 3)
+	Clients int   // flash-crowd size (default 18)
+	Seed    int64 // netsim seed (default 0xC1A57E8)
+
+	// Capacity and RedirectWatermark shape the admission pressure: with the
+	// defaults (16 Mb/s, 0.55, 1 Mb/s peak per client) the first server
+	// sheds fresh connects once ~9 sessions are resident.
+	Capacity          float64       // per-server capacity (default 16e6)
+	RedirectWatermark float64       // fraction of capacity (default 0.55)
+	SessionWatermark  int           // session-count watermark (default off)
+	KillPrimaryAt     time.Duration // when to crash srv1; <0 disables (default 9s)
+}
+
+func (c *LoadConfig) fill() {
+	if c.Servers <= 0 {
+		c.Servers = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 18
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC1A57E8
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 16_000_000
+	}
+	if c.RedirectWatermark == 0 {
+		c.RedirectWatermark = 0.55
+	}
+	if c.KillPrimaryAt == 0 {
+		c.KillPrimaryAt = 9 * time.Second
+	}
+}
+
+// LoadResult is one harness run, serialized into BENCH_cluster.json.
+type LoadResult struct {
+	Servers int   `json:"servers"`
+	Clients int   `json:"clients"`
+	Seed    int64 `json:"seed"`
+
+	// Redirect spread: redirects issued by servers, followed by clients,
+	// and the fraction of fresh connect attempts answered with a redirect.
+	Redirects         int64   `json:"redirects"`
+	RedirectsFollowed int64   `json:"redirects_followed"`
+	RedirectRate      float64 `json:"redirect_rate"`
+
+	// Handoff path: issued at sources, accepted at targets, completed
+	// end-to-end at clients, plus the client-observed suspend→first-doc-OK
+	// latency quantiles.
+	Handoffs          int64   `json:"handoffs"`
+	HandoffAccepts    int64   `json:"handoff_accepts"`
+	HandoffsCompleted int64   `json:"handoffs_completed"`
+	HandoffP50Millis  float64 `json:"handoff_p50_ms"`
+	HandoffP95Millis  float64 `json:"handoff_p95_ms"`
+
+	// Failover outcome after the mid-lesson kill.
+	SessionsOnKilled  int  `json:"sessions_on_killed"`
+	SessionsRecovered int  `json:"sessions_recovered"`
+	SessionsLost      int  `json:"sessions_lost"`
+	ZeroLostSessions  bool `json:"zero_lost_sessions"`
+
+	// MaxUtilization is the peak admission utilization seen at any server
+	// at the scenario checkpoints.
+	MaxUtilization float64 `json:"max_utilization"`
+}
+
+// viewingHost returns the server a client is currently viewing on, or "".
+func viewingHost(c *client.Client, names []string) string {
+	for _, n := range names {
+		if c.State(n) == protocol.StViewing {
+			return n
+		}
+	}
+	return ""
+}
+
+// RunClusterLoad builds the federation, runs the flash-crowd → handoff →
+// kill scenario on the virtual clock, and checks the cluster invariants.
+// The returned error flags harness-level failures (a client that never got
+// admitted anywhere); the invariant fields are left to the caller's gates.
+func RunClusterLoad(cfg LoadConfig) (LoadResult, error) {
+	cfg.fill()
+	var res LoadResult
+	res.Servers = cfg.Servers
+	res.Clients = cfg.Clients
+	res.Seed = cfg.Seed
+
+	clk := clock.NewSim()
+	net := netsim.New(clk, uint64(cfg.Seed))
+	net.SetDefaultLink(netsim.DefaultLAN())
+	users := auth.NewDB()
+	names := make([]string, cfg.Servers)
+	for i := range names {
+		names[i] = fmt.Sprintf("srv%d", i+1)
+	}
+	satelliteHome := names[len(names)-1]
+	cl, err := New(clk, net, users, Config{
+		Servers: names,
+		Placement: server.Placement{
+			"hot-lecture": names,
+			"satellite":   {satelliteHome},
+		},
+		Docs: map[string]string{
+			"hot-lecture": hotLesson,
+			"satellite":   satelliteLesson,
+		},
+		ServerOptions: server.Options{
+			Capacity:          cfg.Capacity,
+			Grace:             6 * time.Second,
+			HeartbeatEvery:    500 * time.Millisecond,
+			LivenessMisses:    3,
+			RedirectWatermark: cfg.RedirectWatermark,
+			SessionWatermark:  cfg.SessionWatermark,
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+
+	cscope := obs.NewScope(clk)
+	clients := make([]*client.Client, cfg.Clients)
+	for i := range clients {
+		user := fmt.Sprintf("user%02d", i)
+		if err := users.Subscribe(auth.User{
+			Name: user, Password: "pw", RealName: "Load User",
+			Email: user + "@example.gr", Class: qos.Standard,
+		}, clk.Now()); err != nil {
+			return res, err
+		}
+		c, err := client.New(fmt.Sprintf("c%02d", i), clk, net, client.Options{
+			User: user, Password: "pw",
+			PeakRate: 1_000_000, MinRate: 250_000,
+			HeartbeatInterval: 500 * time.Millisecond,
+			LivenessMisses:    3,
+			RetryTimeout:      250 * time.Millisecond,
+			RetryAttempts:     4,
+			Obs:               cscope,
+			Peers:             names,
+		})
+		if err != nil {
+			return res, err
+		}
+		clients[i] = c
+	}
+
+	// Phase 1 — flash crowd: everyone aims at srv1, staggered 50 ms apart.
+	// The watermark turns the pile-up into in-protocol redirects.
+	for _, c := range clients {
+		c.Connect(names[0])
+		clk.RunFor(50 * time.Millisecond)
+	}
+	clk.RunFor(3 * time.Second)
+	if u := cl.MaxUtilization(); u > res.MaxUtilization {
+		res.MaxUtilization = u
+	}
+
+	// Phase 2 — requests: most clients play the replicated hot lecture;
+	// every fourth navigates to the satellite doc homed on the last server,
+	// which from anywhere else is a cross-server handoff.
+	for i, c := range clients {
+		if i%4 == 1 {
+			c.RequestDoc("satellite")
+		} else {
+			c.RequestDoc("hot-lecture")
+		}
+		clk.RunFor(25 * time.Millisecond)
+	}
+	clk.RunFor(4 * time.Second)
+	if u := cl.MaxUtilization(); u > res.MaxUtilization {
+		res.MaxUtilization = u
+	}
+	for i, c := range clients {
+		if viewingHost(c, names) == "" {
+			return res, fmt.Errorf("client %d not viewing before kill (err %q)", i, c.LastError())
+		}
+	}
+
+	// Phase 3 — kill the crowded server mid-lesson. Its clients must ride
+	// suspend → grace expiry → failover onto a replica holding their doc.
+	before := make([]string, len(clients))
+	for i, c := range clients {
+		before[i] = viewingHost(c, names)
+		if before[i] == names[0] {
+			res.SessionsOnKilled++
+		}
+	}
+	net.SetHostDown(names[0], true)
+	// Liveness detection (3 × 500 ms) + grace probing (6 s) + failover
+	// reconnect and doc restart, with margin for retransmission backoff.
+	clk.RunFor(16 * time.Second)
+
+	for i, c := range clients {
+		now := viewingHost(c, names)
+		if before[i] != names[0] {
+			if now == "" {
+				res.SessionsLost++
+			}
+			continue
+		}
+		if now != "" && now != names[0] {
+			res.SessionsRecovered++
+		} else {
+			res.SessionsLost++
+		}
+	}
+	res.ZeroLostSessions = res.SessionsLost == 0
+
+	res.Redirects = cl.CounterTotal("cluster_redirects")
+	res.RedirectsFollowed = cscope.Counter("client_redirects_followed").Value()
+	if attempts := int64(cfg.Clients) + res.RedirectsFollowed; attempts > 0 {
+		res.RedirectRate = float64(res.Redirects) / float64(attempts)
+	}
+	res.Handoffs = cl.CounterTotal("cluster_handoffs")
+	res.HandoffAccepts = cl.CounterTotal("cluster_handoff_accepts")
+	res.HandoffsCompleted = cscope.Counter("client_handoffs_completed").Value()
+	h := cscope.Histogram("handoff_latency")
+	res.HandoffP50Millis = float64(h.P50()) / float64(time.Millisecond)
+	res.HandoffP95Millis = float64(h.P95()) / float64(time.Millisecond)
+	return res, nil
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -39,6 +40,10 @@ func VerifyBenchFiles(dir string) (string, error) {
 			}
 		case "BENCH_controlplane.json":
 			if err := verifyControlPlaneFile(p); err != nil {
+				return "", err
+			}
+		case "BENCH_cluster.json":
+			if err := verifyClusterFile(p); err != nil {
 				return "", err
 			}
 		default:
@@ -87,6 +92,43 @@ func verifyDataPlaneFile(path string) error {
 	if rep.SpanOverheadPct > spanOverheadGatePct {
 		return fmt.Errorf("bench-verify: %s: span_overhead_pct %.1f exceeds the %.0f%% gate",
 			path, rep.SpanOverheadPct, spanOverheadGatePct)
+	}
+	return nil
+}
+
+func verifyClusterFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var runs []cluster.LoadResult
+	if err := json.Unmarshal(buf, &runs); err != nil {
+		return fmt.Errorf("bench-verify: %s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("bench-verify: %s: no runs", path)
+	}
+	for _, r := range runs {
+		if r.Servers <= 0 || r.Clients <= 0 {
+			return fmt.Errorf("bench-verify: %s: clients=%d run missing core fields", path, r.Clients)
+		}
+		if r.Redirects <= 0 || r.RedirectRate <= 0 {
+			return fmt.Errorf("bench-verify: %s: clients=%d shows no admission redirects; the flash crowd was not spread",
+				path, r.Clients)
+		}
+		if r.Handoffs <= 0 || r.HandoffsCompleted <= 0 || r.HandoffP95Millis <= 0 {
+			return fmt.Errorf("bench-verify: %s: clients=%d missing completed handoffs or latency quantiles",
+				path, r.Clients)
+		}
+		if r.SessionsOnKilled <= 0 {
+			return fmt.Errorf("bench-verify: %s: clients=%d kill scenario vacuous (no sessions on killed server)",
+				path, r.Clients)
+		}
+		// The headline invariant: a shard kill mid-lesson loses nothing.
+		if !r.ZeroLostSessions || r.SessionsLost != 0 || r.SessionsRecovered != r.SessionsOnKilled {
+			return fmt.Errorf("bench-verify: %s: clients=%d lost %d of %d sessions on the killed server",
+				path, r.Clients, r.SessionsLost, r.SessionsOnKilled)
+		}
 	}
 	return nil
 }

@@ -11,8 +11,24 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"time"
+)
+
+// Typed fault causes. Send wraps these with %w, so tests and cluster logic
+// can distinguish a crashed host from a partition or an outage with
+// errors.Is instead of matching on the error string:
+//
+//	if errors.Is(net.Send(pkt), netsim.ErrHostDown) { ... }
+var (
+	// ErrHostDown is the cause when either endpoint is crashed (SetHostDown).
+	ErrHostDown = errors.New("host down")
+	// ErrOutage is the cause during a scheduled host blackout (AddOutage).
+	ErrOutage = errors.New("outage")
+	// ErrPartitioned is the cause inside a scheduled partition window
+	// (AddPartition).
+	ErrPartitioned = errors.New("partition")
 )
 
 // faultWindow is one scheduled fault interval, as offsets from the epoch.
@@ -108,28 +124,30 @@ func (n *Network) DropNextMatching(count int, reason string, pred func(Packet) b
 }
 
 // faultLocked decides whether an injected fault kills the packet. Caller
-// holds n.mu. offset is the send time relative to the epoch.
-func (n *Network) faultLocked(pkt Packet, offset time.Duration) (string, bool) {
+// holds n.mu. offset is the send time relative to the epoch. The returned
+// error wraps the typed cause (ErrHostDown, ErrOutage, ErrPartitioned) and
+// its text doubles as the DropHandler reason.
+func (n *Network) faultLocked(pkt Packet, offset time.Duration) (error, bool) {
 	fromH, toH := pkt.From.Host(), pkt.To.Host()
 	if n.downHosts[fromH] {
-		return "host down: " + fromH, true
+		return fmt.Errorf("%w: %s", ErrHostDown, fromH), true
 	}
 	if n.downHosts[toH] {
-		return "host down: " + toH, true
+		return fmt.Errorf("%w: %s", ErrHostDown, toH), true
 	}
 	for _, w := range n.outages[fromH] {
 		if w.contains(offset) {
-			return "outage: " + fromH, true
+			return fmt.Errorf("%w: %s", ErrOutage, fromH), true
 		}
 	}
 	for _, w := range n.outages[toH] {
 		if w.contains(offset) {
-			return "outage: " + toH, true
+			return fmt.Errorf("%w: %s", ErrOutage, toH), true
 		}
 	}
 	for _, w := range n.partitions[partitionKey(fromH, toH)] {
 		if w.contains(offset) {
-			return "partition: " + fromH + "⇹" + toH, true
+			return fmt.Errorf("%w: %s⇹%s", ErrPartitioned, fromH, toH), true
 		}
 	}
 	for i, os := range n.oneShots {
@@ -138,8 +156,8 @@ func (n *Network) faultLocked(pkt Packet, offset time.Duration) (string, bool) {
 			if os.remaining <= 0 {
 				n.oneShots = append(n.oneShots[:i], n.oneShots[i+1:]...)
 			}
-			return os.reason, true
+			return errors.New(os.reason), true
 		}
 	}
-	return "", false
+	return nil, false
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -157,5 +158,38 @@ func TestFaultScheduleDeterministic(t *testing.T) {
 	}
 	if len(a) == 0 || len(a) == 50 {
 		t.Fatalf("arrivals = %d, want some but not all of 50", len(a))
+	}
+}
+
+// TestFaultSendErrorsAreTyped pins the typed fault causes: callers (and the
+// chaos suite) distinguish a crashed host from a partition or an outage with
+// errors.Is instead of string matching.
+func TestFaultSendErrorsAreTyped(t *testing.T) {
+	_, net := newSim()
+	net.Listen("s:1", func(Packet) {})
+
+	net.SetHostDown("s", true)
+	err := net.Send(Packet{From: "c:1", To: "s:1", Payload: []byte("x")})
+	if !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Send to down host = %v, want ErrHostDown", err)
+	}
+	if errors.Is(err, ErrPartitioned) || errors.Is(err, ErrOutage) {
+		t.Fatalf("host-down error matches the wrong sentinel: %v", err)
+	}
+	net.SetHostDown("s", false)
+
+	net.AddPartition("c", "s", 0, time.Second)
+	err = net.Send(Packet{From: "c:1", To: "s:1", Payload: []byte("x")})
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("Send across partition = %v, want ErrPartitioned", err)
+	}
+	if errors.Is(err, ErrHostDown) {
+		t.Fatalf("partition error matches ErrHostDown: %v", err)
+	}
+
+	net.AddOutage("o", 0, time.Second)
+	err = net.Send(Packet{From: "c:1", To: "o:1", Payload: []byte("x")})
+	if !errors.Is(err, ErrOutage) {
+		t.Fatalf("Send into outage = %v, want ErrOutage", err)
 	}
 }

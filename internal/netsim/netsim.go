@@ -378,14 +378,16 @@ func (n *Network) Send(pkt Packet) error {
 	// Injected faults kill the packet regardless of reliability: a
 	// partitioned or downed host drops TCP segments just as surely as UDP
 	// datagrams.
-	if reason, faulted := n.faultLocked(pkt, offset); faulted {
+	if cause, faulted := n.faultLocked(pkt, offset); faulted {
 		l.stats.Dropped++
 		dh := n.DropHandler
 		n.mu.Unlock()
 		if dh != nil {
-			dh(pkt, reason)
+			dh(pkt, cause.Error())
 		}
-		return fmt.Errorf("netsim: fault drop %s→%s: %s", pkt.From, pkt.To, reason)
+		// %w keeps the typed cause (ErrHostDown, ErrPartitioned, ...)
+		// reachable through errors.Is.
+		return fmt.Errorf("netsim: fault drop %s→%s: %w", pkt.From, pkt.To, cause)
 	}
 
 	lossF, extraD, extraJ, bwF := l.activePhase(offset)

@@ -83,6 +83,14 @@ const (
 	EvCtrlSpan
 	// EvAnomaly marks a flight-recorder trigger (note = the anomaly reason).
 	EvAnomaly
+	// EvRedirect marks a load-aware admission redirect: issued on the server
+	// (note = the watermark reason), followed on the client (value = hop
+	// number of the episode).
+	EvRedirect
+	// EvHandoff marks a cross-server handoff step: ticket issued/accepted on
+	// the servers, initiated/completed on the client (value = latency in µs
+	// on completion).
+	EvHandoff
 )
 
 func (k EventKind) String() string {
@@ -129,6 +137,10 @@ func (k EventKind) String() string {
 		return "ctrl-span"
 	case EvAnomaly:
 		return "anomaly"
+	case EvRedirect:
+		return "redirect"
+	case EvHandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}

@@ -97,6 +97,10 @@ type Connect struct {
 	// Failover marks a re-admission after the original server died; the
 	// admission layer records these separately.
 	Failover bool `json:"failover,omitempty"`
+	// Handoff carries the signed ticket minted by the source server of a
+	// cross-server handoff: the target admits the session as a continuation
+	// (no password, watermark-exempt) after verifying the signature.
+	Handoff *HandoffTicket `json:"handoff,omitempty"`
 }
 
 // ConnectResult answers a Connect.
@@ -113,6 +117,10 @@ type ConnectResult struct {
 	GraceSecs int `json:"graceSecs,omitempty"`
 	// Peers lists replica servers the client may fail over to.
 	Peers []string `json:"peers,omitempty"`
+	// Redirect is the cluster's load-aware admission answer: the server is
+	// over its admission watermark and asks the client to retry at one of
+	// Peers (ordered by advertised load) instead of rejecting outright.
+	Redirect bool `json:"redirect,omitempty"`
 	// Resumed marks a successful ResumeSession recovery: same session,
 	// paused senders restarted.
 	Resumed bool `json:"resumed,omitempty"`
@@ -208,6 +216,17 @@ type DocResponse struct {
 	// Redirect names the server holding the document when it lives
 	// elsewhere (triggers suspend + reconnect at the client).
 	Redirect string `json:"redirect,omitempty"`
+	// Handoff accompanies Redirect: the signed ticket the client presents
+	// at the target to resume as a continuation of this session.
+	Handoff *HandoffTicket `json:"handoff,omitempty"`
+	// ResumeToken/GraceSecs park the session at the source for the grace
+	// period, so the client can fall back here if every replica is down.
+	ResumeToken string `json:"resumeToken,omitempty"`
+	GraceSecs   int    `json:"graceSecs,omitempty"`
+	// Peers is the per-document replica set for this document: the servers
+	// (besides the answering one) that also hold it, so failover mid-lesson
+	// lands on a replica that can actually serve it.
+	Peers []string `json:"peers,omitempty"`
 	// ScenarioSrc is the HML text of the presentation scenario.
 	ScenarioSrc string           `json:"scenarioSrc,omitempty"`
 	Streams     []StreamAnnounce `json:"streams,omitempty"`
@@ -302,6 +321,10 @@ type Heartbeat struct {
 type HeartbeatAck struct {
 	OK        bool   `json:"ok"`
 	SessionID string `json:"sessionId,omitempty"`
+	// Peers refreshes the per-document replica set on every ack, so the
+	// client's failover targets track the document it is currently viewing
+	// (and any placement change) rather than the connect-time snapshot.
+	Peers []string `json:"peers,omitempty"`
 }
 
 // headerSize is the frame header: one type byte plus a 4-byte big-endian

@@ -209,6 +209,21 @@ func (a *Admission) Utilization() float64 {
 	return a.reservedLocked() / a.capacity
 }
 
+// OverWatermark reports whether reserved bandwidth has reached frac of
+// capacity — the load signal behind the cluster's admission redirects. A
+// non-positive frac disables the watermark.
+func (a *Admission) OverWatermark(frac float64) bool {
+	if frac <= 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.capacity <= 0 {
+		return false
+	}
+	return a.reservedLocked() >= frac*a.capacity
+}
+
 // Counts returns (admitted, degraded, rejected) counts for a class.
 func (a *Admission) Counts(c PricingClass) (adm, deg, rej int) {
 	a.mu.Lock()

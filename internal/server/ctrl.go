@@ -152,19 +152,23 @@ func (s *Server) onHeartbeat(from netsim.Addr, m protocol.Heartbeat) {
 		s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{OK: false})
 		return
 	}
-	id := sess.id
+	id, doc := sess.id, sess.doc
 	if m.SessionID == "" || m.SessionID == id {
 		sess.lastBeat = s.clk.Now()
 		s.scheduleLivenessLocked(sh, si, sess)
 		sh.mu.Unlock()
-		s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{OK: true, SessionID: id})
+		// Every ack refreshes the per-document replica set, so the client's
+		// failover targets track the document it is actually viewing.
+		s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{
+			OK: true, SessionID: id, Peers: s.peersForDoc(doc)})
 		return
 	}
 	sh.mu.Unlock()
 	s.opts.Obs.Counter("server_stale_heartbeats").Inc()
 	s.opts.Obs.Emit(obs.EvLiveness, string(from), 0,
 		"stale heartbeat for "+m.SessionID+"; live session is "+id)
-	s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{OK: true, SessionID: id})
+	s.reply(from, protocol.MsgHeartbeatAck, protocol.HeartbeatAck{
+		OK: true, SessionID: id, Peers: s.peersForDoc(doc)})
 }
 
 // connectExtras fills the recovery parameters every successful
@@ -276,17 +280,53 @@ func (s *Server) onConnect(from netsim.Addr, reqID uint32, m protocol.Connect) {
 		return
 	}
 
-	// Authentication.
-	u, err := s.users.Authenticate(m.User, m.Password, now)
-	if err == auth.ErrUnknownUser {
-		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
-			OK: false, NeedSubscription: true, Reason: "please subscribe"})
-		return
+	// A signed handoff ticket admits the session as a continuation from a
+	// peer server: the source already authenticated the user, so the ticket
+	// (signature + expiry) replaces the password round-trip, and the connect
+	// is exempt from the admission-redirect watermark — shedding a session
+	// mid-handoff would orphan it.
+	user, class := m.User, qos.Standard
+	viaHandoff := false
+	if m.Handoff != nil {
+		if err := m.Handoff.Verify(s.opts.ClusterKey, now); err != nil {
+			s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
+				OK: false, Reason: "handoff ticket rejected: " + err.Error()})
+			return
+		}
+		user, class = m.Handoff.User, m.Handoff.Class
+		viaHandoff = true
+		s.cHandoffAccepts.Inc()
+		s.opts.Obs.Emit(obs.EvHandoff, user, 0,
+			"accepted handoff of "+m.Handoff.Doc+" from "+m.Handoff.From)
+	} else {
+		// Authentication.
+		u, err := s.users.Authenticate(m.User, m.Password, now)
+		if err == auth.ErrUnknownUser {
+			s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
+				OK: false, NeedSubscription: true, Reason: "please subscribe"})
+			return
+		}
+		if err != nil {
+			s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
+				OK: false, Reason: err.Error()})
+			return
+		}
+		class = u.Class
 	}
-	if err != nil {
-		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
-			OK: false, Reason: err.Error()})
-		return
+
+	// Load-aware admission redirect: over the watermark, a fresh connect is
+	// pointed at less-loaded peers instead of rejected. Failover and handoff
+	// connects are exempt — they carry a session that must land somewhere.
+	if !m.Failover && !viaHandoff {
+		if reason, over := s.overWatermark(); over {
+			if targets := s.redirectTargets(nil); len(targets) > 0 {
+				s.cRedirects.Inc()
+				s.opts.Obs.Emit(obs.EvRedirect, user, 0, "redirect: "+reason)
+				s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
+					OK: false, Redirect: true, Peers: targets, Reason: reason})
+				return
+			}
+		}
 	}
 
 	// Admission: network condition + connection load + QoS floor +
@@ -296,8 +336,8 @@ func (s *Server) onConnect(from netsim.Addr, reqID uint32, m protocol.Connect) {
 		peak = 2_000_000
 	}
 	dec := s.adm.Request(qos.ConnRequest{
-		User: m.User, Class: u.Class, PeakRate: peak, MinRate: m.MinRate,
-		Resumed: m.Failover,
+		User: user, Class: class, PeakRate: peak, MinRate: m.MinRate,
+		Resumed: m.Failover || viaHandoff,
 	})
 	if dec.Verdict == qos.Rejected {
 		s.replyReq(from, reqID, protocol.MsgConnectResult, protocol.ConnectResult{
@@ -306,7 +346,8 @@ func (s *Server) onConnect(from netsim.Addr, reqID uint32, m protocol.Connect) {
 	}
 	sess := &session{
 		id:         fmt.Sprintf("%s-sess-%d", s.Name, s.nextID.Add(1)),
-		user:       m.User,
+		user:       user,
+		class:      class,
 		client:     from,
 		connID:     dec.ConnID,
 		floorLevel: m.FloorLevel,
@@ -328,7 +369,7 @@ func (s *Server) onConnect(from netsim.Addr, reqID uint32, m protocol.Connect) {
 	sh.byID[sess.id] = sess
 	sh.mu.Unlock()
 	s.opts.Obs.Gauge("server_sessions").Set(s.sessionCount.Load())
-	s.opts.Obs.Emit(obs.EvSessionStart, m.User, int64(dec.ConnID), "session "+sess.id)
+	s.opts.Obs.Emit(obs.EvSessionStart, user, int64(dec.ConnID), "session "+sess.id)
 	res := protocol.ConnectResult{
 		OK: true, SessionID: sess.id,
 		GrantedRate: dec.Rate, Degraded: dec.Verdict == qos.AdmittedDegraded,
@@ -349,6 +390,20 @@ func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequ
 	}
 	doc, ok := s.db.Get(m.Name)
 	if !ok {
+		// Not held here — but if the cluster directory knows replicas that
+		// do hold it, hand the session off instead of failing the request.
+		if dir := s.opts.Directory; dir != nil {
+			var holders []string
+			for _, r := range dir.Replicas(m.Name) {
+				if r != s.Name {
+					holders = append(holders, r)
+				}
+			}
+			if len(holders) > 0 {
+				s.issueHandoff(sh, sess, from, reqID, m.Name, holders)
+				return
+			}
+		}
 		sh.mu.Unlock()
 		s.replyReq(from, reqID, protocol.MsgDocResponse, protocol.DocResponse{
 			OK: false, Reason: "document not found: " + m.Name})
@@ -417,6 +472,7 @@ func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequ
 		Name:        doc.Name,
 		ScenarioSrc: doc.Source,
 		Streams:     announces,
+		Peers:       s.peersForDoc(doc.Name),
 	})
 	// Activate the media servers and the periodic RTCP sender reports. The
 	// session may have moved shards (or been torn down) while the reply

@@ -47,6 +47,24 @@ type Options struct {
 	// Obs, when set, receives session/grading/admission telemetry and
 	// serves the control-protocol stats snapshot.
 	Obs *obs.Scope
+
+	// Directory, when set, is the cluster's placement/load view: it makes
+	// the advertised peer set per-document, lets doc requests for documents
+	// homed elsewhere answer with a handoff instead of "not found", and
+	// informs redirect target ordering. Nil means standalone operation.
+	Directory Directory
+	// RedirectWatermark, as a fraction of Capacity (e.g. 0.8), makes the
+	// server answer fresh Connects with an in-protocol redirect to its
+	// less-loaded peers once reserved bandwidth reaches the watermark.
+	// Zero disables bandwidth-watermark redirects.
+	RedirectWatermark float64
+	// SessionWatermark redirects fresh Connects once this many sessions
+	// are resident. Zero disables session-count redirects.
+	SessionWatermark int
+	// ClusterKey is the shared HMAC key signing cross-server handoff
+	// tickets. Empty disables ticket minting (handoffs degrade to a plain
+	// redirect + credentialed reconnect).
+	ClusterKey []byte
 }
 
 func (o *Options) fill() {
@@ -118,12 +136,21 @@ type Server struct {
 	hHandle    *stats.DurationHistogram
 	hLiveTick  *stats.DurationHistogram
 	hDedupTick *stats.DurationHistogram
+
+	// Cluster counters, resolved once: admission redirects issued, handoff
+	// tickets minted, and handoff tickets accepted from peers.
+	cRedirects      *stats.Counter
+	cHandoffs       *stats.Counter
+	cHandoffAccepts *stats.Counter
 }
 
 // session is one client's server-side state.
 type session struct {
-	id          string
-	user        string
+	id   string
+	user string
+	// class is the user's pricing contract, kept so a cross-server handoff
+	// ticket can carry it without a subscriber-database lookup.
+	class       qos.PricingClass
 	client      netsim.Addr
 	connID      int
 	floorLevel  int
@@ -199,6 +226,9 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 	s.hHandle = opts.Obs.HistogramBounds("server_ctrl_handle", stats.MicroLatencyBounds()...)
 	s.hLiveTick = opts.Obs.HistogramBounds("server_sweep_live_tick", stats.MicroLatencyBounds()...)
 	s.hDedupTick = opts.Obs.HistogramBounds("server_sweep_dedup_tick", stats.MicroLatencyBounds()...)
+	s.cRedirects = opts.Obs.Counter("cluster_redirects")
+	s.cHandoffs = opts.Obs.Counter("cluster_handoffs")
+	s.cHandoffAccepts = opts.Obs.Counter("cluster_handoff_accepts")
 	for i := range s.shards {
 		s.shards[i].mu.hWait = opts.Obs.HistogramBounds(
 			obs.Label("server_lock_wait", "shard", fmt.Sprintf("%02d", i)),
