@@ -4,12 +4,14 @@
 # buffer pooling of the media path, and both control-plane endpoints —
 # internal/server includes a connect/disconnect churn stress that drives
 # the sharded session state, dedup rings and timer wheels from concurrent
-# goroutines); the
+# goroutines, and a shared-flow churn stress that hammers the flow
+# registry's attach/detach/pause/reload surface while the flows pump); the
 # allocation regression tests in internal/server ride along in `test`.
 # `make chaos` runs the fault-injection suite on its own, with the pinned
 # seed and the race detector. `make bench-dataplane` measures the server
 # media data plane (with -benchmem allocation reporting) and writes
-# BENCH_dataplane.json. `make bench-controlplane` measures session
+# BENCH_dataplane.json, including the shared-flow fan-out sweep (encodes
+# flat across 1→64 viewers of one hot document while deliveries scale). `make bench-controlplane` measures session
 # establishment under duplicate-fire connect storms, heartbeat throughput
 # and the timer-wheel sweep cost at 1k/10k/100k resident sessions, writes
 # BENCH_controlplane.json, and fails if the per-tick sweep cost is not

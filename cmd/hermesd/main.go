@@ -50,6 +50,7 @@ func main() {
 	redirectWatermark := flag.Float64("redirect-watermark", 0, "redirect fresh connects once reserved bandwidth reaches this fraction of capacity (0 = off)")
 	sessionWatermark := flag.Int("session-watermark", 0, "redirect fresh connects once this many sessions are resident (0 = off)")
 	clusterKey := flag.String("cluster-key", "", "shared HMAC key signing cross-server handoff tickets (empty = unsigned handoffs)")
+	sharedFlows := flag.Bool("shared-flows", false, "fan each hot document out from one paced flow per stream (one encode, N subscribers)")
 	hostmap := flag.String("hosts", "", "host=ip overrides (host=127.0.0.5,...)")
 	testuser := flag.Bool("testuser", true, "pre-subscribe user student/pw")
 	metricsEvery := flag.Duration("metrics-every", 0, "dump the telemetry dashboard periodically (0 = only at exit)")
@@ -118,6 +119,7 @@ func main() {
 		Obs:               scope,
 		RedirectWatermark: *redirectWatermark,
 		SessionWatermark:  *sessionWatermark,
+		SharedFlows:       *sharedFlows,
 	}
 	if *placement != "" {
 		dir, err := server.ParsePlacement(*placement)

@@ -413,3 +413,63 @@ func TestStaleHeartbeatKeepsSession(t *testing.T) {
 		t.Fatalf("state after stale heartbeat = %v, want viewing", st)
 	}
 }
+
+// TestUserPauseSurvivesSuspendAndRecovery pins the pause/park split: a user
+// pause must survive an involuntary liveness suspend. The client recovers
+// into the PAUSED presentation (not playback), the server keeps the sender
+// user-paused across park/unpark (zero frames for the whole window), and a
+// later user resume picks the playout back up.
+func TestUserPauseSurvivesSuspendAndRecovery(t *testing.T) {
+	w := newWorld(t,
+		server.Options{Grace: 20 * time.Second, HeartbeatEvery: time.Second, LivenessMisses: 3},
+		client.Options{},
+		"srv-a", "srv-b")
+	w.connectAndPlay(t, "srv-a")
+
+	w.c.Pause()
+	w.run(time.Second)
+	if st := w.c.State("srv-a"); st != protocol.StPaused {
+		t.Fatalf("state after pause = %v, want paused", st)
+	}
+	frames := w.scopes["srv-a"].Counter("server_media_frames_sent")
+	base := frames.Value()
+
+	w.net.AddPartition("laptop", "srv-a", w.now(), 5*time.Second)
+	w.run(5 * time.Second)
+	if st := w.c.State("srv-a"); st != protocol.StSuspended {
+		t.Fatalf("state mid-partition = %v, want suspended", st)
+	}
+
+	w.run(10 * time.Second)
+	// Recovered — but into the paused presentation the user left behind.
+	if st := w.c.State("srv-a"); st != protocol.StPaused {
+		t.Fatalf("state after heal = %v, want paused (recovery must not auto-resume)", st)
+	}
+	if !w.c.Player().Paused() {
+		t.Fatal("player resumed by recovery despite the user's pause")
+	}
+	// The server transmitted nothing across pause → suspend → recover: the
+	// suspend parked an already-paused sender and the reattach unparked it
+	// without clearing the user pause.
+	if got := frames.Value(); got != base {
+		t.Fatalf("server sent %d frames while user-paused across the outage", got-base)
+	}
+
+	w.c.Resume()
+	w.run(2 * time.Second)
+	if st := w.c.State("srv-a"); st != protocol.StViewing {
+		t.Fatalf("state after resume = %v, want viewing", st)
+	}
+	if w.c.Player().Paused() {
+		t.Fatal("player still paused after user resume")
+	}
+	if frames.Value() == base {
+		t.Fatal("no frames after the user resumed")
+	}
+	// The interrupted lecture still plays out to completion.
+	w.run(40 * time.Second)
+	rep := w.c.Player().Report()
+	if n := rep.Streams["n"]; n.Plays == 0 {
+		t.Fatalf("no audio plays after pause-spanning recovery: %+v", n)
+	}
+}

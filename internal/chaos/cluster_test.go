@@ -332,3 +332,65 @@ func TestFailedPeerRetriedInLaterEpisode(t *testing.T) {
 		t.Fatalf("state on s2 = %v, want viewing", c.State("s2"))
 	}
 }
+
+// TestClusterFailoverLandsOnSharedFlow crashes the serving shard while a
+// second viewer of the same lecture is already riding a shared flow at the
+// replica. The failover re-request must land the recovered session on that
+// SAME flow — one encode at the replica, two subscribers — not on a private
+// sender.
+func TestClusterFailoverLandsOnSharedFlow(t *testing.T) {
+	w := newClusterWorld(t,
+		server.Placement{"lecture": {"s1", "s2"}},
+		map[string]string{"lecture": lesson90},
+		server.Options{Grace: 5 * time.Second, HeartbeatEvery: 500 * time.Millisecond,
+			LivenessMisses: 3, SharedFlows: true},
+		"s1", "s2")
+	a := w.newClient(t, "laptop-a", fastClient())
+	b := w.newClient(t, "laptop-b", fastClient())
+
+	// B watches the lecture at the replica; its flow is the one A must join.
+	b.Connect("s2")
+	w.clk.RunFor(time.Second)
+	b.RequestDoc("lecture")
+	w.clk.RunFor(2 * time.Second)
+	if b.State("s2") != protocol.StViewing {
+		t.Fatalf("b state on s2 = %v, want viewing", b.State("s2"))
+	}
+	if fs := w.cl.Servers["s2"].FlowStats(); len(fs) == 0 {
+		t.Fatalf("no shared flows on s2 for the first viewer: %+v", fs)
+	}
+
+	a.Connect("s1")
+	w.clk.RunFor(time.Second)
+	a.RequestDoc("lecture")
+	w.clk.RunFor(2 * time.Second)
+	if a.State("s1") != protocol.StViewing {
+		t.Fatalf("a state on s1 = %v, want viewing", a.State("s1"))
+	}
+
+	w.net.SetHostDown("s1", true)
+	w.clk.RunFor(12 * time.Second)
+	if got := sessionHost(a, "s1", "s2"); got != "s2" {
+		t.Fatalf("a recovered onto %q, want the replica s2 (err %q)", got, a.LastError())
+	}
+	if a.State("s2") != protocol.StViewing {
+		t.Fatalf("a state on s2 = %v, want viewing", a.State("s2"))
+	}
+
+	// The recovered session shares B's flows: every time-sensitive stream of
+	// the lecture fans out from one encode to both subscribers.
+	for _, st := range w.cl.Servers["s2"].FlowStats() {
+		if st.Subscribers != 2 {
+			t.Fatalf("flow %s/%s has %d subscribers after failover, want 2 (%+v)",
+				st.Doc, st.Stream, st.Subscribers, w.cl.Servers["s2"].FlowStats())
+		}
+	}
+	if fs := w.cl.Servers["s2"].FlowStats(); len(fs) == 0 {
+		t.Fatal("flows torn down after failover")
+	}
+	// And both players keep playing.
+	w.clk.RunFor(5 * time.Second)
+	if rep := b.Player().Report(); rep.Streams["n"].Plays == 0 {
+		t.Fatalf("b playout starved after a's failover: %+v", rep.Streams["n"])
+	}
+}

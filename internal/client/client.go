@@ -172,7 +172,11 @@ type Client struct {
 	asm        map[uint32]map[uint32]*assembly
 	asmFree    []*assembly // recycled assembly shells (their bufs are pooled separately)
 	docName    string
-	docHost    string   // server the current document came from
+	docHost    string // server the current document came from
+	// userPaused remembers a user-requested pause across a liveness
+	// suspend: recovery restores the paused presentation instead of
+	// restarting playout (the server keeps the sender paused too).
+	userPaused bool
 	fillIDs    []string // stream buffers gating the deliberate initial delay
 	stillIDs   []string // stills that must be present before the start
 	docAt      time.Time
@@ -538,6 +542,7 @@ func (c *Client) Pause() {
 	c.machine(c.current).Apply(protocol.InPause)
 	c.send(c.current, protocol.MsgPause, protocol.MediaOp{})
 	c.player.Pause()
+	c.userPaused = true
 	c.logEvent("pause")
 }
 
@@ -551,6 +556,7 @@ func (c *Client) Resume() {
 	c.machine(c.current).Apply(protocol.InResume)
 	c.send(c.current, protocol.MsgResume, protocol.MediaOp{})
 	c.player.Resume()
+	c.userPaused = false
 	c.logEvent("resume")
 }
 

@@ -138,7 +138,15 @@ func (c *Client) onConnectResult(from string, m protocol.ConnectResult) {
 				// Resumed in place within the grace window: straight back
 				// to viewing, the frozen presentation continues.
 				mach.Apply(protocol.InRecover)
-				c.player.Resume()
+				if c.userPaused {
+					// The user paused before the outage: recover into the
+					// paused presentation. The server kept the sender
+					// user-paused across the suspend, so nothing resumes
+					// until the user asks.
+					mach.Apply(protocol.InPause)
+				} else {
+					c.player.Resume()
+				}
 			} else {
 				mach.Apply(protocol.InReturn)
 			}
@@ -600,6 +608,7 @@ func (c *Client) teardownPresentationLocked() {
 	if c.player != nil {
 		c.player.Finish()
 	}
+	c.userPaused = false
 	c.stopTimersLocked()
 	for _, addr := range c.mediaPorts {
 		c.net.Listen(addr, nil)

@@ -19,11 +19,41 @@ type DataPlaneReport struct {
 	SpanOverheadPct  float64 `json:"span_overhead_pct"`
 	FramesPerSecObs  float64 `json:"frames_per_sec_obs"`
 	FramesPerSecNoop float64 `json:"frames_per_sec_noobs"`
+	// Fanout is the shared-flow headline: the same hot document at 1 and
+	// at N viewers with shared flows on. Encodes must stay flat while
+	// deliveries scale with the viewer count. Gated here and by
+	// VerifyBenchFiles.
+	Fanout *FanoutSummary `json:"fanout"`
+}
+
+// FanoutSummary is the one-encode-N-deliveries headline pair, measured over
+// the deterministic paced (virtual-clock) window so the numbers are exactly
+// reproducible.
+type FanoutSummary struct {
+	ViewersLow         int     `json:"viewers_low"`
+	ViewersHigh        int     `json:"viewers_high"`
+	EncodesLow         int64   `json:"encodes_low"`
+	EncodesHigh        int64   `json:"encodes_high"`
+	DeliveredHigh      int64   `json:"delivered_high"`
+	AmplificationX     float64 `json:"amplification_x"` // delivered/encodes at the high viewer count
+	AllocsPerDelivered float64 `json:"allocs_per_delivered"`
 }
 
 // spanOverheadGatePct is the acceptance ceiling on the span instrumentation's
 // throughput cost.
 const spanOverheadGatePct = 5.0
+
+// Shared-flow fan-out gates: at the high viewer count the paced window may
+// encode at most fanoutEncodeFlatX times the single-viewer run's frames
+// (they are deterministically equal in practice; the headroom absorbs any
+// future pacing change), must deliver at least fanoutScaleFrac of the ideal
+// viewers×encodes fan-out, and may allocate at most fanoutAllocsGate objects
+// per delivered frame.
+const (
+	fanoutEncodeFlatX = 1.05
+	fanoutScaleFrac   = 0.9
+	fanoutAllocsGate  = 0.05
+)
 
 // DataPlane runs the server data-plane load harness at each session count
 // and tabulates throughput, emit-latency tail, global-lock pressure, the
@@ -68,6 +98,81 @@ func DataPlane(sessions []int) (*stats.Table, *DataPlaneReport, error) {
 		rep.Runs = append(rep.Runs, res)
 	}
 
+	// Shared-flow fan-out: the same hot document at 1 viewer and at 64
+	// viewers with shared flows on. The paced (virtual-clock) window is
+	// deterministic, so the flatness and scaling gates compare exact frame
+	// counts, not wall-clock rates.
+	fanout := func(sessions, docs int, zipfS float64) (server.DataPlaneResult, error) {
+		res, err := server.RunDataPlaneLoad(server.DataPlaneConfig{
+			Sessions:        sessions,
+			FramesPerSender: 200,
+			SharedFlows:     true,
+			Docs:            docs,
+			ZipfS:           zipfS,
+		})
+		if err != nil {
+			return res, fmt.Errorf("dataplane fanout sessions=%d docs=%d: %w", sessions, docs, err)
+		}
+		if res.PacedLockAcqs != 0 {
+			return res, fmt.Errorf("dataplane fanout sessions=%d docs=%d: %d shard-lock acquisitions during paced fan-out",
+				sessions, docs, res.PacedLockAcqs)
+		}
+		tb.AddRow(fmt.Sprintf("%d (fanout d=%d)", res.Sessions, res.Docs),
+			fmt.Sprintf("%d fl=%d", res.Senders, res.Flows), res.PacedLockAcqs,
+			fmt.Sprintf("%.0f dlv", res.DeliveredPerSec),
+			fmt.Sprintf("%.1f", res.EmitP50Micros),
+			fmt.Sprintf("%.1f", res.EmitP95Micros),
+			fmt.Sprintf("%.1f", res.EmitToWireP95),
+			fmt.Sprintf("%.1f", res.EmitToWireP99),
+			fmt.Sprintf("%.3f", res.PacedAllocsPerFrame),
+			fmt.Sprintf("%.3f", res.PumpAllocsPerFrame),
+			res.LockHeldMicros)
+		rep.Runs = append(rep.Runs, res)
+		return res, nil
+	}
+	fan1, err := fanout(1, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	fan64, err := fanout(64, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fan1.PacedEncodes <= 0 || fan64.PacedEncodes <= 0 {
+		return nil, nil, fmt.Errorf("dataplane fanout: paced window encoded nothing (1v=%d 64v=%d)",
+			fan1.PacedEncodes, fan64.PacedEncodes)
+	}
+	if float64(fan64.PacedEncodes) > fanoutEncodeFlatX*float64(fan1.PacedEncodes) {
+		return nil, nil, fmt.Errorf("dataplane fanout: 64 viewers encoded %d frames vs %d at 1 viewer; encode work is not flat",
+			fan64.PacedEncodes, fan1.PacedEncodes)
+	}
+	if float64(fan64.PacedDelivered) < fanoutScaleFrac*64*float64(fan64.PacedEncodes) {
+		return nil, nil, fmt.Errorf("dataplane fanout: 64 viewers saw %d deliveries for %d encodes; fan-out does not scale with viewers",
+			fan64.PacedDelivered, fan64.PacedEncodes)
+	}
+	if fan64.PacedAllocsPerFrame > fanoutAllocsGate {
+		return nil, nil, fmt.Errorf("dataplane fanout: %.3f allocations per delivered frame, want ≤ %.2f",
+			fan64.PacedAllocsPerFrame, fanoutAllocsGate)
+	}
+	if fan64.MaxFlowSubscribers != 64 {
+		return nil, nil, fmt.Errorf("dataplane fanout: hot flow carries %d subscribers, want 64", fan64.MaxFlowSubscribers)
+	}
+	rep.Fanout = &FanoutSummary{
+		ViewersLow:         fan1.Sessions,
+		ViewersHigh:        fan64.Sessions,
+		EncodesLow:         fan1.PacedEncodes,
+		EncodesHigh:        fan64.PacedEncodes,
+		DeliveredHigh:      fan64.PacedDelivered,
+		AmplificationX:     float64(fan64.PacedDelivered) / float64(fan64.PacedEncodes),
+		AllocsPerDelivered: fan64.PacedAllocsPerFrame,
+	}
+	// Zipf demand demo: 64 viewers spread over 8 documents with s=1.1 —
+	// the popular head shares flows, the tail plays privately. Reported,
+	// not gated beyond the zero-lock invariant.
+	if _, err := fanout(64, 8, 1.1); err != nil {
+		return nil, nil, err
+	}
+
 	// Overhead pair: best-of-3 pump throughput with the default scope (spans
 	// sampled) against telemetry off, at a fixed mid scale. Best-of-N rather
 	// than mean keeps scheduler noise from masquerading as span cost.
@@ -86,7 +191,6 @@ func DataPlane(sessions []int) (*stats.Table, *DataPlaneReport, error) {
 		}
 		return top, nil
 	}
-	var err error
 	if rep.FramesPerSecObs, err = best(false); err != nil {
 		return nil, nil, fmt.Errorf("dataplane overhead pair (obs on): %w", err)
 	}

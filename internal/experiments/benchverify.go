@@ -85,6 +85,16 @@ func verifyDataPlaneFile(path string) error {
 		if r.EmitToWireP95 <= 0 || r.EmitToWireP99 <= 0 || r.EmitToWireMax <= 0 {
 			return fmt.Errorf("bench-verify: %s: sessions=%d missing emit_to_wire percentile fields", path, r.Sessions)
 		}
+		if r.SharedFlows {
+			if r.Flows <= 0 || r.MaxFlowSubscribers <= 0 {
+				return fmt.Errorf("bench-verify: %s: sessions=%d shared-flow run stood up no flows (flows=%d max_subs=%d)",
+					path, r.Sessions, r.Flows, r.MaxFlowSubscribers)
+			}
+			if r.PacedEncodes <= 0 || r.PacedDelivered < r.PacedEncodes {
+				return fmt.Errorf("bench-verify: %s: sessions=%d shared-flow run missing encode/delivery split (encodes=%d delivered=%d)",
+					path, r.Sessions, r.PacedEncodes, r.PacedDelivered)
+			}
+		}
 	}
 	if rep.FramesPerSecObs <= 0 || rep.FramesPerSecNoop <= 0 {
 		return fmt.Errorf("bench-verify: %s: missing span overhead pair fields", path)
@@ -92,6 +102,28 @@ func verifyDataPlaneFile(path string) error {
 	if rep.SpanOverheadPct > spanOverheadGatePct {
 		return fmt.Errorf("bench-verify: %s: span_overhead_pct %.1f exceeds the %.0f%% gate",
 			path, rep.SpanOverheadPct, spanOverheadGatePct)
+	}
+	// The fan-out headline: encodes flat across the viewer sweep, deliveries
+	// scaling with viewers, amortized-zero allocations per delivered frame —
+	// re-checked on the committed artifact (mirrors DataPlane's gates).
+	f := rep.Fanout
+	if f == nil {
+		return fmt.Errorf("bench-verify: %s: missing fanout summary (regenerate with make bench-dataplane)", path)
+	}
+	if f.ViewersHigh <= f.ViewersLow || f.EncodesLow <= 0 || f.EncodesHigh <= 0 {
+		return fmt.Errorf("bench-verify: %s: fanout summary missing core fields", path)
+	}
+	if float64(f.EncodesHigh) > fanoutEncodeFlatX*float64(f.EncodesLow) {
+		return fmt.Errorf("bench-verify: %s: fanout encodes grew %d → %d across %d → %d viewers; not flat",
+			path, f.EncodesLow, f.EncodesHigh, f.ViewersLow, f.ViewersHigh)
+	}
+	if float64(f.DeliveredHigh) < fanoutScaleFrac*float64(f.ViewersHigh)*float64(f.EncodesHigh) {
+		return fmt.Errorf("bench-verify: %s: fanout delivered %d frames for %d encodes at %d viewers; does not scale",
+			path, f.DeliveredHigh, f.EncodesHigh, f.ViewersHigh)
+	}
+	if f.AllocsPerDelivered > fanoutAllocsGate {
+		return fmt.Errorf("bench-verify: %s: fanout allocs_per_delivered %.3f exceeds the %.2f gate",
+			path, f.AllocsPerDelivered, fanoutAllocsGate)
 	}
 	return nil
 }

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestSendMultiFanOutAndOwnership pins the multicast contract: one SendMulti
+// call delivers to every destination, and the caller owns its payload buffer
+// again the moment the call returns — mutating it immediately must not
+// corrupt any of the scheduled copies.
+func TestSendMultiFanOutAndOwnership(t *testing.T) {
+	clk := clock.NewSim()
+	net := New(clk, 5)
+	net.SetLink("a", "b", LinkConfig{Delay: time.Millisecond})
+	net.SetLink("a", "c", LinkConfig{Delay: 3 * time.Millisecond})
+	got := map[string]string{}
+	net.Listen("b:1", func(p Packet) { got["b"] = string(append([]byte(nil), p.Payload...)) })
+	net.Listen("c:1", func(p Packet) { got["c"] = string(append([]byte(nil), p.Payload...)) })
+
+	const want = "shared-flow-frame"
+	buf := []byte(want)
+	if err := net.SendMulti(Packet{From: "a:1", Payload: buf}, []Addr{"b:1", "c:1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Caller reuses (pools) its buffer immediately — both in-flight copies
+	// must be unaffected.
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	clk.RunFor(time.Second)
+	if got["b"] != want || got["c"] != want {
+		t.Fatalf("deliveries = %v, want %q at both destinations", got, want)
+	}
+}
+
+// TestSendMultiPerDestinationFaults verifies a fault against one destination
+// drops only that copy: the batch still returns nil (like stochastic loss in
+// Send) and the other destinations receive their frames.
+func TestSendMultiPerDestinationFaults(t *testing.T) {
+	clk := clock.NewSim()
+	net := New(clk, 5)
+	net.SetLink("a", "b", LinkConfig{Delay: time.Millisecond})
+	net.SetLink("a", "c", LinkConfig{Delay: time.Millisecond})
+	var bPkts, cPkts int
+	net.Listen("b:1", func(Packet) { bPkts++ })
+	net.Listen("c:1", func(Packet) { cPkts++ })
+
+	net.DropNext("a", "b", 1)
+	if err := net.SendMulti(Packet{From: "a:1", Payload: []byte("x")}, []Addr{"b:1", "c:1"}); err != nil {
+		t.Fatalf("per-destination fault failed the batch: %v", err)
+	}
+	clk.RunFor(time.Second)
+	if bPkts != 0 {
+		t.Fatalf("faulted destination received %d packets, want 0", bPkts)
+	}
+	if cPkts != 1 {
+		t.Fatalf("healthy destination received %d packets, want 1", cPkts)
+	}
+	if st := net.Stats("a", "b"); st.Dropped != 1 {
+		t.Fatalf("a→b drop not accounted: %+v", st)
+	}
+}
+
+// TestSendMultiChargesEgressOnce pins the multicast economics: fanning one
+// packet out to N subscribers serializes it once on the sender's uplink. A
+// second SendMulti issued at the same instant must therefore depart only one
+// egress transmission later, not N.
+func TestSendMultiChargesEgressOnce(t *testing.T) {
+	clk := clock.NewSim()
+	net := New(clk, 5)
+	// 8000 bit/s uplink and 1000-byte frames: one serialization = 1s.
+	net.SetEgressLimit("a", 8000, 10*time.Second)
+	net.SetLink("a", "b", LinkConfig{})
+	net.SetLink("a", "c", LinkConfig{})
+	net.SetLink("a", "d", LinkConfig{})
+	var arrivals []time.Duration
+	start := clk.Now()
+	for _, h := range []Addr{"b:1", "c:1", "d:1"} {
+		net.Listen(h, func(p Packet) { arrivals = append(arrivals, clk.Now().Sub(start)) })
+	}
+	frame := make([]byte, 1000)
+	tos := []Addr{"b:1", "c:1", "d:1"}
+	if err := net.SendMulti(Packet{From: "a:1", Payload: frame, Reliable: true}, tos); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SendMulti(Packet{From: "a:1", Payload: frame, Reliable: true}, tos); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(time.Minute)
+	if len(arrivals) != 6 {
+		t.Fatalf("deliveries = %d, want 6", len(arrivals))
+	}
+	var last time.Duration
+	for _, a := range arrivals {
+		if a > last {
+			last = a
+		}
+	}
+	// Two fan-outs × one serialization each ≈ 2s. Per-copy charging would
+	// push the tail past 6s.
+	if last > 3*time.Second {
+		t.Fatalf("last delivery at %v; egress looks charged per copy, not per fan-out", last)
+	}
+}
+
+// sendOnlyNet hides Network's SendMulti so SendToAll must take its fallback
+// path.
+type sendOnlyNet struct{ n *Network }
+
+func (s sendOnlyNet) Send(p Packet) error            { return s.n.Send(p) }
+func (s sendOnlyNet) Listen(a Addr, h Handler) error { return s.n.Listen(a, h) }
+
+// TestSendToAllFallback verifies the helper fans out with per-destination
+// Send calls when the transport has no SendMulti.
+func TestSendToAllFallback(t *testing.T) {
+	clk := clock.NewSim()
+	net := New(clk, 5)
+	net.SetLink("a", "b", LinkConfig{Delay: time.Millisecond})
+	net.SetLink("a", "c", LinkConfig{Delay: time.Millisecond})
+	var bPkts, cPkts int
+	net.Listen("b:1", func(Packet) { bPkts++ })
+	net.Listen("c:1", func(Packet) { cPkts++ })
+	if err := SendToAll(sendOnlyNet{net}, Packet{From: "a:1", Payload: []byte("x")}, []Addr{"b:1", "c:1"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(time.Second)
+	if bPkts != 1 || cPkts != 1 {
+		t.Fatalf("fallback deliveries b=%d c=%d, want 1 each", bPkts, cPkts)
+	}
+}

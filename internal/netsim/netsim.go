@@ -105,6 +105,35 @@ type Net interface {
 	Listen(Addr, Handler) error
 }
 
+// MultiSender is optionally implemented by transports that can fan one
+// packet out to several destinations with a single upstream transmission —
+// the multicast model the shared-flow layer is built on. The payload
+// ownership rule is identical to Send: the caller's buffer is borrowed only
+// for the duration of the call. Implementations charge the sender's egress
+// once for the whole fan-out; per-destination link behavior (loss, jitter,
+// faults) still applies to each copy independently.
+type MultiSender interface {
+	SendMulti(pkt Packet, tos []Addr) error
+}
+
+// SendToAll fans pkt out to every destination, using the transport's
+// SendMulti when it has one and falling back to one Send per destination.
+// Callers on a hot path should cache the MultiSender assertion instead.
+func SendToAll(nt Net, pkt Packet, tos []Addr) error {
+	if ms, ok := nt.(MultiSender); ok {
+		return ms.SendMulti(pkt, tos)
+	}
+	var first error
+	for _, to := range tos {
+		p := pkt
+		p.To = to
+		if err := nt.Send(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // LinkConfig describes one direction of a link between two hosts.
 type LinkConfig struct {
 	// Bandwidth is the link rate in bits per second (0 = infinite).
@@ -528,6 +557,199 @@ func (n *Network) Send(pkt Packet) error {
 	n.clk.AfterFunc(arrival.Sub(now), deliver)
 	if deliverCopies == 2 {
 		n.clk.AfterFunc(arrival.Sub(now)+dupDelay, deliver)
+	}
+	return nil
+}
+
+// multiDrop records one destination's drop decision so the DropHandler can
+// run after the network lock is released.
+type multiDrop struct {
+	to    Addr
+	cause string
+}
+
+// SendMulti implements MultiSender: one packet, many destinations, one
+// pooled payload copy shared by every scheduled delivery (refcounted exactly
+// like Send's dup deliveries). The sending host's egress serializer is
+// charged for a single transmission — the multicast model: fanning a hot
+// flow out to N subscribers does not multiply the server's uplink load —
+// while each destination's link still makes its own serialization, loss,
+// jitter and fault decisions. Per-destination failures (faults, tail drops,
+// stochastic loss) never fail the batch; like stochastic loss in Send, they
+// return nil.
+func (n *Network) SendMulti(pkt Packet, tos []Addr) error {
+	if len(tos) == 0 {
+		return nil
+	}
+	pkt.SentAt = n.clk.Now()
+	if sn := n.Sniffer; sn != nil {
+		sn(pkt)
+	}
+	now := pkt.SentAt
+	type arrivalPlan struct {
+		to    Addr
+		at    time.Time
+		dupAt time.Time // zero = no duplicate
+	}
+	arrivals := make([]arrivalPlan, 0, len(tos))
+	var drops []multiDrop
+	n.mu.Lock()
+	offset := now.Sub(n.epoch)
+
+	// One egress serialization for the whole fan-out.
+	egressStart := now
+	egressOverflow := false
+	if eg, ok := n.egresses[pkt.From.Host()]; ok {
+		egTx := time.Duration(float64(pkt.Size()*8) / eg.rate * float64(time.Second))
+		if eg.nextFree.After(egressStart) {
+			egressStart = eg.nextFree
+		}
+		if egressStart.Sub(now) > eg.queueLimit && !pkt.Reliable {
+			egressOverflow = true
+		} else {
+			eg.nextFree = egressStart.Add(egTx)
+			egressStart = eg.nextFree
+		}
+	}
+
+	for _, to := range tos {
+		p := pkt
+		p.To = to
+		l := n.getLinkLocked(p.From.Host(), to.Host())
+		l.stats.Sent++
+		l.stats.Bytes += int64(p.Size())
+		if egressOverflow {
+			l.stats.Dropped++
+			drops = append(drops, multiDrop{to: to, cause: "egress overflow"})
+			continue
+		}
+		if cause, faulted := n.faultLocked(p, offset); faulted {
+			l.stats.Dropped++
+			drops = append(drops, multiDrop{to: to, cause: cause.Error()})
+			continue
+		}
+		lossF, extraD, extraJ, bwF := l.activePhase(offset)
+
+		bw := l.cfg.Bandwidth * bwF
+		var txTime time.Duration
+		if bw > 0 {
+			txTime = time.Duration(float64(p.Size()*8) / bw * float64(time.Second))
+		}
+		depart := egressStart
+		if l.nextFree.After(depart) {
+			depart = l.nextFree
+		}
+		queueLimit := l.cfg.QueueLimit
+		if queueLimit == 0 {
+			queueLimit = 500 * time.Millisecond
+		}
+		if depart.Sub(now) > queueLimit && !p.Reliable {
+			l.stats.Dropped++
+			drops = append(drops, multiDrop{to: to, cause: "queue overflow"})
+			continue
+		}
+		l.nextFree = depart.Add(txTime)
+
+		ploss := l.cfg.Loss * lossF
+		if l.cfg.Burst != nil {
+			b := l.cfg.Burst
+			if l.burstBad {
+				if l.rng.Bool(b.PBadToGood) {
+					l.burstBad = false
+				}
+			} else if l.rng.Bool(b.PGoodToBad) {
+				l.burstBad = true
+			}
+			if l.burstBad {
+				ploss = maxf(ploss, b.PBad*lossF)
+			} else {
+				ploss = maxf(ploss, b.PGood*lossF)
+			}
+		}
+		if ploss > 0.95 {
+			ploss = 0.95
+		}
+
+		delay := l.cfg.Delay + extraD
+		jitterBound := l.cfg.Jitter + extraJ
+		if jitterBound > 0 {
+			delay += time.Duration(l.rng.Float64() * float64(jitterBound))
+		}
+
+		lost := ploss > 0 && l.rng.Bool(ploss)
+		if lost && !p.Reliable {
+			l.stats.Dropped++
+			drops = append(drops, multiDrop{to: to, cause: "loss"})
+			continue
+		}
+		arrival := l.nextFree.Add(delay)
+		if lost && p.Reliable {
+			for lost {
+				arrival = arrival.Add(2*(l.cfg.Delay+extraD) + txTime)
+				lost = l.rng.Bool(ploss)
+			}
+		}
+		if p.Reliable {
+			if !arrival.After(l.lastReliableArrival) {
+				arrival = l.lastReliableArrival.Add(time.Microsecond)
+			}
+			l.lastReliableArrival = arrival
+		}
+		l.stats.Delivered++
+		l.stats.Delays.AddDuration(arrival.Sub(now))
+		if n.deliveryHist != nil {
+			n.deliveryHist.Observe(arrival.Sub(now))
+		}
+		plan := arrivalPlan{to: to, at: arrival}
+		if !p.Reliable && l.cfg.Dup > 0 && l.rng.Bool(l.cfg.Dup) {
+			plan.dupAt = arrival.Add(time.Millisecond + time.Duration(l.rng.Float64()*float64(jitterBound+time.Millisecond)))
+		}
+		arrivals = append(arrivals, plan)
+	}
+	n.mu.Unlock()
+
+	if dh := n.DropHandler; dh != nil {
+		for _, d := range drops {
+			p := pkt
+			p.To = d.to
+			dh(p, d.cause)
+		}
+	}
+	if len(arrivals) == 0 {
+		return nil
+	}
+
+	// One pooled copy backs every delivery of the fan-out; the refcount
+	// releases it after the last handler returns, exactly as Send does for
+	// its dup deliveries.
+	pb := payloadPool.Get(len(pkt.Payload))
+	copy(pb.B, pkt.Payload)
+	remaining := int32(0)
+	for _, a := range arrivals {
+		remaining++
+		if !a.dupAt.IsZero() {
+			remaining++
+		}
+	}
+	for _, a := range arrivals {
+		p := pkt
+		p.To = a.to
+		p.Payload = pb.B
+		deliver := func() {
+			n.mu.Lock()
+			h := n.endpoints[p.To]
+			n.mu.Unlock()
+			if h != nil {
+				h(p)
+			}
+			if atomic.AddInt32(&remaining, -1) == 0 {
+				payloadPool.Put(pb)
+			}
+		}
+		n.clk.AfterFunc(a.at.Sub(now), deliver)
+		if !a.dupAt.IsZero() {
+			n.clk.AfterFunc(a.dupAt.Sub(now), deliver)
+		}
 	}
 	return nil
 }

@@ -221,6 +221,21 @@ func (m *Manager) Level(id string) (level int, stopped bool) {
 	return st.level, st.stopped
 }
 
+// LevelMatches reports whether the stream currently runs at exactly the
+// given level and is not cut off. This is the shared-flow reconciliation
+// predicate: a session may ride a shared flow only while its own grading
+// state agrees with the flow's fixed encode level, and must detach to a
+// private sender the moment they diverge. Read-locked like Level.
+func (m *Manager) LevelMatches(id string, level int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st := m.streams[id]
+	if st == nil {
+		return level == 0
+	}
+	return !st.stopped && st.level == level
+}
+
 // LevelSeries returns the stream's quality-level trajectory (level index
 // over time since the manager's epoch; stopped is recorded as Levels).
 func (m *Manager) LevelSeries(id string) *stats.Series {

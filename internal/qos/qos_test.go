@@ -467,3 +467,47 @@ func TestRenegotiateFreesRoomForNewAdmissions(t *testing.T) {
 		t.Fatalf("freed bandwidth not reusable: %+v", d)
 	}
 }
+
+// TestLevelMatchesGatesSharedFlow pins the predicate the shared-flow layer
+// attaches and detaches on: an unregistered stream matches only level 0 (no
+// grading has happened), a registered stream matches exactly its current
+// level, and a cut-off stream matches nothing.
+func TestLevelMatchesGatesSharedFlow(t *testing.T) {
+	clk, m := mgr()
+	if !m.LevelMatches("v", 0) {
+		t.Fatal("unregistered stream must match level 0")
+	}
+	if m.LevelMatches("v", 1) {
+		t.Fatal("unregistered stream must not match a degraded level")
+	}
+	m.Register(StreamConfig{ID: "v", Kind: scenario.TypeVideo, Levels: 5, Floor: 4})
+	if !m.LevelMatches("v", 0) {
+		t.Fatal("freshly registered stream must match level 0")
+	}
+	for i := 0; i < 5 && m.LevelMatches("v", 0); i++ {
+		m.Feedback(report("v", 0.2, 0))
+		clk.Advance(time.Second)
+	}
+	lvl, stopped := m.Level("v")
+	if lvl == 0 || stopped {
+		t.Fatalf("level = %d stopped=%v, wanted a live degrade", lvl, stopped)
+	}
+	if m.LevelMatches("v", 0) {
+		t.Fatal("degraded stream still matches level 0")
+	}
+	if !m.LevelMatches("v", lvl) {
+		t.Fatalf("degraded stream does not match its own level %d", lvl)
+	}
+	for i := 0; i < 20; i++ {
+		m.Feedback(report("v", 0.2, 0))
+		clk.Advance(3 * time.Second)
+	}
+	if _, stopped := m.Level("v"); !stopped {
+		t.Fatal("stream not cut off")
+	}
+	for l := 0; l < 5; l++ {
+		if m.LevelMatches("v", l) {
+			t.Fatalf("cut-off stream matches level %d", l)
+		}
+	}
+}

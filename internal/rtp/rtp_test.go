@@ -405,3 +405,36 @@ func TestLossFraction(t *testing.T) {
 		t.Fatalf("LossFraction = %v", r.LossFraction())
 	}
 }
+
+// TestSenderForkSeamlessContinuation pins the detach contract the shared-flow
+// layer relies on: a fork carries the same SSRC and payload type, continues
+// the sequence space and report counters exactly where the original stands,
+// and then advances independently.
+func TestSenderForkSeamlessContinuation(t *testing.T) {
+	s := NewSender(0xABCD, PTMPEG, 100)
+	for i := 0; i < 5; i++ {
+		s.Next(time.Duration(i)*40*time.Millisecond, []byte("frame"), true)
+	}
+	f := s.Fork()
+	if f.SSRC != s.SSRC || f.PayloadType != s.PayloadType {
+		t.Fatalf("fork identity differs: %x/%d vs %x/%d", f.SSRC, f.PayloadType, s.SSRC, s.PayloadType)
+	}
+	if f.Seq() != s.Seq() {
+		t.Fatalf("fork seq %d, original %d — receiver would see a gap", f.Seq(), s.Seq())
+	}
+	if f.PacketCount() != s.PacketCount() {
+		t.Fatalf("fork packet count %d, original %d", f.PacketCount(), s.PacketCount())
+	}
+	// The receiver that follows the fork sees a contiguous stream…
+	p := f.Next(200*time.Millisecond, []byte("frame"), true)
+	if p.SequenceNumber != 105 {
+		t.Fatalf("fork's first packet seq = %d, want 105", p.SequenceNumber)
+	}
+	// …and the original is untouched by the fork's progress.
+	if s.Seq() != 105 {
+		t.Fatalf("original seq moved to %d by the fork", s.Seq())
+	}
+	if q := s.Next(200*time.Millisecond, []byte("frame"), true); q.SequenceNumber != 105 {
+		t.Fatalf("original's next seq = %d, want its own 105", q.SequenceNumber)
+	}
+}

@@ -81,6 +81,19 @@ func (s *Sender) Report(now time.Time, ts time.Duration) *SenderReport {
 // PacketCount returns the number of packets sent.
 func (s *Sender) PacketCount() uint32 { return s.packets }
 
+// Seq returns the sequence number the next packet will carry.
+func (s *Sender) Seq() uint16 { return s.seq }
+
+// Fork returns an independent copy of the sender's full transmission state:
+// same SSRC, payload type, next sequence number and report counters. A
+// receiver that switches from the original to the fork (or vice versa) sees
+// one seamless stream — this is how a shared-flow subscriber detaches onto a
+// private sender without a sequence or timestamp discontinuity.
+func (s *Sender) Fork() *Sender {
+	cp := *s
+	return &cp
+}
+
 // Receiver tracks one incoming RTP stream and computes the RFC 1889
 // reception statistics: extended highest sequence number (with wraparound),
 // cumulative and interval loss, and the standard interarrival jitter

@@ -214,14 +214,17 @@ func (s *Server) reattachLocked(oi, ni int, sess *session, from netsim.Addr, pol
 	neu.sessions[string(from)] = sess
 	neu.byID[sess.id] = sess
 	sess.shard.Store(int32(ni))
-	// Resume-before-expiry restores every paused sender, and a fresh
-	// liveness deadline keeps the sweep from instantly re-suspending.
+	// Resume-before-expiry wakes every sender the suspend parked — and ONLY
+	// those: a sender the user paused before the suspend stays paused with
+	// its pause-shifted origin intact, so the user's own Resume later picks
+	// up exactly where playback stopped. A fresh liveness deadline keeps the
+	// sweep from instantly re-suspending.
 	sess.lastBeat = s.clk.Now()
 	if police {
 		s.scheduleLivenessLocked(neu, ni, sess)
 	}
 	for _, snd := range sess.senders {
-		snd.resume()
+		snd.unpark()
 	}
 	if len(sess.senders) > 0 {
 		if sess.srTimer != nil {
@@ -444,9 +447,9 @@ func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequ
 		src := media.ForStream(f.Stream)
 		ssrc := s.nextSSRC.Add(1)
 		port := base + i
-		snd := newSender(s, sess.qosMgr, f, src, ssrc, netsim.MakeAddr(clientHost, port), origin)
+		to := netsim.MakeAddr(clientHost, port)
+		snd := newSender(s, sess.qosMgr, f, src, ssrc, to, origin)
 		sess.senders[f.Stream.ID] = snd
-		sess.ssrcToID[ssrc] = f.Stream.ID
 		sess.qosMgr.Register(qos.StreamConfig{
 			ID:     f.Stream.ID,
 			Kind:   f.Stream.Type,
@@ -454,6 +457,17 @@ func (s *Server) onDocRequest(from netsim.Addr, reqID uint32, m protocol.DocRequ
 			Levels: src.Levels(),
 			Floor:  minInt(sess.floorLevel, src.Levels()-1),
 		})
+		// Shared fan-out: a time-sensitive stream whose session grades at
+		// the flow's level rides the document's shared flow — the announce
+		// then carries the FLOW's SSRC, and the client receives the same
+		// packets as every other subscriber. Late joiners get a catch-up
+		// patch from the flow's segment cache (see sharedflow.go).
+		if s.opts.SharedFlows && f.Stream.Type.TimeSensitive() && sess.qosMgr.LevelMatches(f.Stream.ID, 0) {
+			fl := s.flows.attach(s, flowKey{doc: m.Name, stream: f.Stream.ID, level: 0}, f, src, snd, to, origin)
+			snd.attachShared(fl)
+			ssrc = fl.ssrc
+		}
+		sess.ssrcToID[ssrc] = f.Stream.ID
 		announces = append(announces, protocol.StreamAnnounce{
 			StreamID:        f.Stream.ID,
 			SSRC:            ssrc,
@@ -547,6 +561,7 @@ func (s *Server) onFeedback(from netsim.Addr, m protocol.Feedback) {
 	if err != nil {
 		return
 	}
+	var acted []string
 	for _, part := range parts {
 		cp, err := rtp.UnmarshalControl(part)
 		if err != nil || cp.RR == nil {
@@ -564,8 +579,32 @@ func (s *Server) onFeedback(from netsim.Addr, m protocol.Feedback) {
 				// renegotiation) without an admission-pool round-trip per
 				// RTCP packet.
 				s.queueRenegotiate(sess)
+				for _, act := range acts {
+					acted = append(acted, act.StreamID)
+				}
 			}
 		}
+	}
+	if len(acted) == 0 || !s.opts.SharedFlows {
+		return
+	}
+	// Per-flow vs per-session level reconciliation: any grading action moves
+	// the acted stream's session level away from the shared flow's fixed
+	// encode level (upgrades back toward it only happen on already-private
+	// senders), so the subscriber detaches onto its private sender — the
+	// other subscribers never notice.
+	sh.mu.RLock()
+	var diverged []*sender
+	if cur, live := sh.sessions[string(from)]; live && cur == sess {
+		for _, id := range acted {
+			if snd := sess.senders[id]; snd != nil && !sess.qosMgr.LevelMatches(id, 0) {
+				diverged = append(diverged, snd)
+			}
+		}
+	}
+	sh.mu.RUnlock()
+	for _, snd := range diverged {
+		snd.detachShared()
 	}
 }
 
@@ -608,7 +647,7 @@ func (s *Server) onMediaOp(from netsim.Addr, mt protocol.MsgType, m protocol.Med
 // liveness auto-suspension.
 func (s *Server) suspendSessionLocked(sh *ctrlShard, sess *session) string {
 	for _, snd := range sess.senders {
-		snd.pause()
+		snd.park()
 	}
 	sess.suspended = true
 	sess.resumeToken = fmt.Sprintf("%s-tok-%d", s.Name, s.nextID.Add(1))

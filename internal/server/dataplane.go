@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -43,6 +44,18 @@ type DataPlaneConfig struct {
 	// spans); the overhead benchmark pairs a run against a default run to
 	// price the sampled span instrumentation.
 	DisableObs bool
+	// SharedFlows turns on shared-flow fan-out: sessions viewing the same
+	// document ride one paced flow (one encode, N deliveries).
+	SharedFlows bool
+	// Docs is how many distinct documents the sessions spread across
+	// (default 1: every session views the same hot document).
+	Docs int
+	// ZipfS is the Zipf popularity exponent used to assign sessions to
+	// documents when Docs > 1. The assignment is a deterministic
+	// inverse-CDF spread — session i lands on the document whose
+	// cumulative weight covers (i+0.5)/Sessions — so runs are exactly
+	// reproducible with no RNG. Zero means uniform popularity.
+	ZipfS float64
 }
 
 func (c *DataPlaneConfig) fill() {
@@ -54,6 +67,9 @@ func (c *DataPlaneConfig) fill() {
 	}
 	if c.PacedWindow <= 0 || c.PacedWindow >= 5*time.Second {
 		c.PacedWindow = 4 * time.Second
+	}
+	if c.Docs <= 0 {
+		c.Docs = 1
 	}
 }
 
@@ -102,6 +118,25 @@ type DataPlaneResult struct {
 	EmitToWireP95   float64 `json:"emit_to_wire_p95_us"`
 	EmitToWireP99   float64 `json:"emit_to_wire_p99_us"`
 	EmitToWireMax   float64 `json:"emit_to_wire_max_us"`
+
+	// Shared-flow fan-out. Encodes count frames encoded+assembled once;
+	// delivered counts frames × subscribers actually fanned out. Both are
+	// restricted to the time-sensitive (audio/video) streams — the
+	// sustained data plane — so still-image page loads don't blur the
+	// one-encode-N-deliveries ratio. Without shared flows the two are
+	// equal; with them, encodes stay flat as viewers of the same document
+	// grow while delivered scales with the viewer count.
+	SharedFlows        bool    `json:"shared_flows"`
+	Docs               int     `json:"docs"`
+	ZipfS              float64 `json:"zipf_s"`
+	Flows              int     `json:"flows"`
+	MaxFlowSubscribers int     `json:"max_flow_subscribers"`
+	PacedEncodes       int64   `json:"paced_encodes"`
+	PacedDelivered     int64   `json:"paced_delivered"`
+	PumpEncodes        int64   `json:"pump_encodes"`
+	PumpDelivered      int64   `json:"pump_delivered"`
+	EncodesPerSec      float64 `json:"encodes_per_sec"`
+	DeliveredPerSec    float64 `json:"delivered_per_sec"`
 }
 
 // sinkNet is the harness transport: a netsim.Net whose Send costs two atomic
@@ -143,6 +178,15 @@ func (n *sinkNet) Send(p netsim.Packet) error {
 	return nil
 }
 
+// SendMulti implements netsim.MultiSender so the shared-flow fan-out path is
+// exercised end to end: the packet is assembled once and each destination
+// costs only the counting here — no per-destination copy, no allocation.
+func (n *sinkNet) SendMulti(p netsim.Packet, tos []netsim.Addr) error {
+	n.packets.Add(int64(len(tos)))
+	n.bytes.Add(int64(len(p.Payload)) * int64(len(tos)))
+	return nil
+}
+
 // RunDataPlaneLoad stands up a server with cfg.Sessions sessions playing a
 // two-slide lesson (per slide: one still image plus a synchronized audio and
 // video pair, so every session carries multiple concurrent streams) and
@@ -151,6 +195,9 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 	cfg.fill()
 	var res DataPlaneResult
 	res.Sessions = cfg.Sessions
+	res.SharedFlows = cfg.SharedFlows
+	res.Docs = cfg.Docs
+	res.ZipfS = cfg.ZipfS
 
 	clk := clock.NewSim()
 	net := newSinkNet()
@@ -161,8 +208,40 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 		return res, err
 	}
 	db := NewDatabase()
-	if err := db.Put("lesson", hml.LessonSource("bench", 2, time.Minute), "load doc"); err != nil {
-		return res, err
+	docName := func(k int) string {
+		if cfg.Docs == 1 {
+			return "lesson"
+		}
+		return fmt.Sprintf("lesson%d", k)
+	}
+	for k := 0; k < cfg.Docs; k++ {
+		if err := db.Put(docName(k), hml.LessonSource("bench", 2, time.Minute), "load doc"); err != nil {
+			return res, err
+		}
+	}
+	// Zipf popularity: document k gets weight (k+1)^-s; session i lands on
+	// the document whose cumulative weight first covers (i+0.5)/Sessions.
+	// Deterministic inverse-CDF spread — no RNG, exactly reproducible.
+	docOf := make([]int, cfg.Sessions)
+	if cfg.Docs > 1 {
+		weights := make([]float64, cfg.Docs)
+		var total float64
+		for k := range weights {
+			weights[k] = math.Pow(float64(k+1), -cfg.ZipfS)
+			total += weights[k]
+		}
+		for i := range docOf {
+			u := (float64(i) + 0.5) / float64(cfg.Sessions) * total
+			acc := 0.0
+			docOf[i] = cfg.Docs - 1
+			for k, w := range weights {
+				acc += w
+				if u <= acc {
+					docOf[i] = k
+					break
+				}
+			}
+		}
 	}
 	// Telemetry is ON by default: the alloc and lock gates below prove the
 	// sampled span instrumentation rides the emit path for free.
@@ -171,8 +250,9 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 		scope = obs.NewScope(clk)
 	}
 	srv, err := New("srv", clk, net, users, db, Options{
-		Capacity: 1e12, // admission must not cap the fleet
-		Obs:      scope,
+		Capacity:    1e12, // admission must not cap the fleet
+		Obs:         scope,
+		SharedFlows: cfg.SharedFlows,
 	})
 	if err != nil {
 		return res, err
@@ -188,7 +268,7 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 		})
 		net.Send(netsim.Packet{
 			From: client, To: netsim.MakeAddr("srv", ControlPort),
-			Payload:  protocol.MustEncode(protocol.MsgDocRequest, protocol.DocRequest{Name: "lesson"}),
+			Payload:  protocol.MustEncode(protocol.MsgDocRequest, protocol.DocRequest{Name: docName(docOf[i])}),
 			Reliable: true,
 		})
 	}
@@ -198,18 +278,45 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 
 	// Collect the senders. Time-sensitive ones are the sustained load; the
 	// stills finish after their single frame.
-	var all []*sender
+	var all, ts []*sender
 	for i := range srv.shards {
 		sh := &srv.shards[i]
 		sh.mu.Lock()
 		for _, sess := range sh.sessions {
 			for _, snd := range sess.senders {
 				all = append(all, snd)
+				if snd.stream.Type.TimeSensitive() {
+					ts = append(ts, snd)
+				}
 			}
 		}
 		sh.mu.Unlock()
 	}
 	res.Senders = len(all)
+
+	// Collect the shared flows the document requests stood up. With shared
+	// flows off (or every session on its own document) this is empty and
+	// every sender paces privately.
+	var flows []*sharedFlow
+	srv.flows.mu.Lock()
+	for _, fl := range srv.flows.flows {
+		flows = append(flows, fl)
+	}
+	srv.flows.mu.Unlock()
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].key.doc != flows[j].key.doc {
+			return flows[i].key.doc < flows[j].key.doc
+		}
+		return flows[i].key.stream < flows[j].key.stream
+	})
+	res.Flows = len(flows)
+	for _, fl := range flows {
+		fl.mu.Lock()
+		if n := len(fl.subs); n > res.MaxFlowSubscribers {
+			res.MaxFlowSubscribers = n
+		}
+		fl.mu.Unlock()
+	}
 
 	sumStats := func() (frames, packets int64, bytes int64) {
 		for _, snd := range all {
@@ -219,6 +326,32 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 			bytes += st.bytes
 		}
 		return
+	}
+	// sumEncodes counts time-sensitive frames encoded+assembled: one per
+	// flow frame regardless of subscriber count, plus each private
+	// time-sensitive sender's own frames. sumDelivered counts the same
+	// frames once per subscriber actually fanned (a shared sender's stats
+	// delegate to its flow-share). Equal when nothing is shared.
+	sumEncodes := func() int64 {
+		var e int64
+		for _, fl := range flows {
+			fl.mu.Lock()
+			e += int64(fl.framesSent)
+			fl.mu.Unlock()
+		}
+		for _, snd := range ts {
+			if !snd.isShared() {
+				e += int64(snd.stats().frames)
+			}
+		}
+		return e
+	}
+	sumDelivered := func() int64 {
+		var d int64
+		for _, snd := range ts {
+			d += int64(snd.stats().frames)
+		}
+		return d
 	}
 
 	// memDelta samples the process-wide allocation counters around fn. The
@@ -238,30 +371,51 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 	// so the lock-meter delta is exactly the emit path's shard-lock footprint —
 	// and the allocation delta is the pacing loop's footprint.
 	preFrames, _, _ := sumStats()
+	preEncodes, preDelivered := sumEncodes(), sumDelivered()
 	preAcqs, _ := srv.LockStats()
 	pacedMallocs, pacedBytes := memDelta(func() { clk.Advance(cfg.PacedWindow) })
 	postAcqs, _ := srv.LockStats()
 	pacedFrames, _, _ := sumStats()
 	res.PacedFrames = pacedFrames - preFrames
 	res.PacedLockAcqs = postAcqs - preAcqs
+	res.PacedEncodes = sumEncodes() - preEncodes
+	res.PacedDelivered = sumDelivered() - preDelivered
 	if res.PacedFrames > 0 {
+		// PacedFrames already counts per-subscriber deliveries (a shared
+		// sender's stats are its flow-share), so this IS allocations per
+		// delivered frame — the fan-out gate divides the one shared
+		// assembly across every subscriber it reached.
 		res.PacedAllocsPerFrame = float64(pacedMallocs) / float64(res.PacedFrames)
 		res.PacedAllocBytesPerFrame = float64(pacedBytes) / float64(res.PacedFrames)
 	}
 
-	// Pump phase: every sender emits back-to-back from its own goroutine.
+	// Pump phase: every pacing unit emits back-to-back from its own
+	// goroutine. A shared flow pumps once for all of its subscribers —
+	// that's the point — so the units are the flows plus every private
+	// sender.
+	type pumper interface{ pump(int) []time.Duration }
+	var units []pumper
+	for _, fl := range flows {
+		units = append(units, fl)
+	}
+	for _, snd := range all {
+		if !snd.isShared() {
+			units = append(units, snd)
+		}
+	}
 	pumpStartFrames, pumpStartPackets, pumpStartBytes := sumStats()
-	times := make([][]time.Duration, len(all))
+	pumpStartEncodes, pumpStartDelivered := sumEncodes(), sumDelivered()
+	times := make([][]time.Duration, len(units))
 	var wg sync.WaitGroup
 	var elapsed time.Duration
 	pumpMallocs, pumpAllocBytes := memDelta(func() {
 		t0 := time.Now()
-		for i, snd := range all {
+		for i, u := range units {
 			wg.Add(1)
-			go func(i int, snd *sender) {
+			go func(i int, u pumper) {
 				defer wg.Done()
-				times[i] = snd.pump(cfg.FramesPerSender)
-			}(i, snd)
+				times[i] = u.pump(cfg.FramesPerSender)
+			}(i, u)
 		}
 		wg.Wait()
 		elapsed = time.Since(t0)
@@ -270,9 +424,13 @@ func RunDataPlaneLoad(cfg DataPlaneConfig) (DataPlaneResult, error) {
 	res.PumpFrames = pumpFrames - pumpStartFrames
 	res.PumpPackets = pumpPackets - pumpStartPackets
 	res.PumpBytes = pumpBytes - pumpStartBytes
+	res.PumpEncodes = sumEncodes() - pumpStartEncodes
+	res.PumpDelivered = sumDelivered() - pumpStartDelivered
 	res.ElapsedMicros = elapsed.Microseconds()
 	if elapsed > 0 {
 		res.FramesPerSec = float64(res.PumpFrames) / elapsed.Seconds()
+		res.EncodesPerSec = float64(res.PumpEncodes) / elapsed.Seconds()
+		res.DeliveredPerSec = float64(res.PumpDelivered) / elapsed.Seconds()
 	}
 	if res.PumpFrames > 0 {
 		res.PumpAllocsPerFrame = float64(pumpMallocs) / float64(res.PumpFrames)

@@ -36,11 +36,13 @@ var pktPool buffer.Pool
 // other sessions' streams nor with the control plane.
 //
 // Lock-order rules (see also the shard.go header for the full hierarchy):
-// shard.mu → sn.mu. Control handlers may call sender methods while holding
-// the owning session's shard lock, but no sender method ever acquires a
-// shard lock — sn.mu is a leaf. A sender that needs server state (e.g. the
-// obs scope, the transport) reads only immutable fields captured at
-// construction.
+// shard.mu → sn.mu → flowRegistry.mu → sharedFlow.mu. Control handlers may
+// call sender methods while holding the owning session's shard lock, but no
+// sender method ever acquires a shard lock. Below sn.mu sit only the
+// shared-flow locks (attach/detach bookkeeping); the sender's own emit path
+// takes nothing past sn.mu, and a shared flow's emit path takes only the
+// flow's mutex. A sender that needs server state (e.g. the obs scope, the
+// transport) reads only immutable fields captured at construction.
 type sender struct {
 	// Immutable after construction.
 	srv    *Server
@@ -65,6 +67,15 @@ type sender struct {
 	pausedAt time.Time
 	disabled bool
 	finished bool
+	// parked marks a pause applied by the suspend machinery (park), as
+	// opposed to one the user requested: only parked senders wake on
+	// reattach, so a user pause survives suspend→resume intact.
+	parked bool
+	// shared, when non-nil, is the fan-out flow this sender subscribes to:
+	// pacing and emission belong to the flow, and every local divergence
+	// (pause/reload/disable/stop/grade change/suspend) detaches first. See
+	// sharedflow.go for the lock order (sn.mu → flowRegistry.mu → flow.mu).
+	shared *sharedFlow
 
 	// counters (reset on restart so per-document stats and RTCP sender
 	// reports describe the current playback, not cumulative history)
@@ -108,7 +119,7 @@ func (sn *sender) start() {
 }
 
 func (sn *sender) armLocked() {
-	if sn.finished || sn.paused || sn.disabled {
+	if sn.finished || sn.paused || sn.disabled || sn.shared != nil {
 		return
 	}
 	d := sn.sendAtFor(sn.nextIdx).Sub(sn.srv.clk.Now())
@@ -141,7 +152,7 @@ func (sn *sender) emit() {
 // server-wide state: the QoS level comes through the manager's own
 // fine-grained lock and the packets go straight to the transport.
 func (sn *sender) emitFrameLocked() bool {
-	if sn.finished || sn.paused || sn.disabled {
+	if sn.finished || sn.paused || sn.disabled || sn.shared != nil {
 		return false
 	}
 	i := sn.nextIdx
@@ -225,6 +236,7 @@ func (sn *sender) emitFrameLocked() bool {
 	sn.srv.mFrames.Inc()
 	sn.srv.mPackets.Add(int64(fragCount))
 	sn.srv.mBytes.Add(int64(frame.Size))
+	sn.srv.mDelivered.Inc()
 	if spanned {
 		sn.srv.spans.RecordEmit(sn.stream.ID, time.Since(spanT0))
 	}
@@ -249,11 +261,18 @@ func (sn *sender) pump(n int) []time.Duration {
 	return times
 }
 
-// pause stops pacing.
+// pause stops pacing. A shared-flow subscriber first detaches (adopting the
+// flow's cursor) so the other subscribers keep playing. No-op once disabled,
+// like armLocked: a disabled sender must never record pausedAt or shift its
+// origin again.
 func (sn *sender) pause() {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
-	if sn.paused || sn.finished {
+	if sn.paused || sn.finished || sn.disabled {
+		return
+	}
+	sn.detachSharedLocked(true)
+	if sn.finished {
 		return
 	}
 	sn.paused = true
@@ -269,13 +288,51 @@ func (sn *sender) isPaused() bool {
 }
 
 // resume continues pacing, shifting the flow origin by the pause length so
-// inter-frame spacing is preserved.
+// inter-frame spacing is preserved. No-op once disabled (the symmetric guard
+// to pause: origin arithmetic must not drift on a dead sender).
 func (sn *sender) resume() {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
-	if !sn.paused || sn.finished {
+	if !sn.paused || sn.finished || sn.disabled {
 		return
 	}
+	sn.paused = false
+	sn.parked = false
+	sn.origin = sn.origin.Add(sn.srv.clk.Now().Sub(sn.pausedAt))
+	sn.armLocked()
+}
+
+// park pauses the sender for a session suspend. Unlike pause it never
+// clobbers a user-initiated pause: a sender the user already paused keeps
+// its original pausedAt (so the eventual user Resume shifts the origin
+// across the whole stillness), and only senders the suspend itself stopped
+// are marked parked for unpark to wake on reattach.
+func (sn *sender) park() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.finished || sn.disabled {
+		return
+	}
+	sn.detachSharedLocked(true)
+	if sn.finished || sn.paused {
+		return
+	}
+	sn.paused = true
+	sn.parked = true
+	sn.pausedAt = sn.srv.clk.Now()
+	sn.stopTimerLocked()
+}
+
+// unpark resumes only the senders park stopped. A sender the user paused
+// before the suspend stays paused — its pause-shifted origin intact — until
+// the user's own Resume.
+func (sn *sender) unpark() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if !sn.parked || !sn.paused || sn.finished || sn.disabled {
+		return
+	}
+	sn.parked = false
 	sn.paused = false
 	sn.origin = sn.origin.Add(sn.srv.clk.Now().Sub(sn.pausedAt))
 	sn.armLocked()
@@ -283,17 +340,23 @@ func (sn *sender) resume() {
 
 // restart replays the stream from the beginning (reload). Counters — both
 // the sender's own and the RTP-layer totals carried in RTCP sender reports —
-// reset so per-document stats describe the new playback only.
+// reset so per-document stats describe the new playback only. The fresh RTP
+// state is seeded with the payload type of the session's CURRENT quality
+// level: a reload of a degraded session must keep advertising the degraded
+// codec, not snap back to level 0 until the next renegotiation.
 func (sn *sender) restart(origin time.Time) {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	sn.detachSharedLocked(false)
 	sn.stopTimerLocked()
 	sn.origin = origin
 	sn.nextIdx = 0
 	sn.finished = false
 	sn.paused = false
+	sn.parked = false
 	sn.framesSent, sn.packetsSent, sn.bytesSent, sn.skipped = 0, 0, 0, 0
-	sn.rtpS = rtp.NewSender(sn.rtpS.SSRC, sn.src.PayloadType(0), 0)
+	level, _ := sn.qos.Level(sn.stream.ID)
+	sn.rtpS = rtp.NewSender(sn.rtpS.SSRC, sn.src.PayloadType(level), 0)
 	sn.armLocked()
 }
 
@@ -301,6 +364,7 @@ func (sn *sender) restart(origin time.Time) {
 func (sn *sender) disable() {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	sn.detachSharedLocked(true)
 	sn.disabled = true
 	sn.stopTimerLocked()
 }
@@ -309,8 +373,69 @@ func (sn *sender) disable() {
 func (sn *sender) stop() {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	sn.detachSharedLocked(true)
 	sn.finished = true
 	sn.stopTimerLocked()
+}
+
+// attachShared subscribes the sender to a fan-out flow: pacing and emission
+// belong to the flow until a detach. The sender's RTP state is reseeded with
+// the flow's SSRC (which the announce advertises) so a later detach hands
+// the client one uninterrupted stream.
+func (sn *sender) attachShared(fl *sharedFlow) {
+	sn.mu.Lock()
+	sn.shared = fl
+	sn.rtpS = rtp.NewSender(fl.ssrc, sn.src.PayloadType(fl.key.level), 0)
+	sn.mu.Unlock()
+}
+
+// detachShared detaches a grade-diverged subscriber onto its private sender
+// and resumes private pacing at the flow's cursor. No-op when not attached.
+func (sn *sender) detachShared() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.shared == nil {
+		return
+	}
+	sn.detachSharedLocked(true)
+	sn.armLocked()
+}
+
+// isShared reports whether the sender currently rides a fan-out flow.
+func (sn *sender) isShared() bool {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.shared != nil
+}
+
+// detachSharedLocked leaves the shared flow. With adopt, the sender takes
+// over the flow's continuation — pacing cursor, forked RTP state (same SSRC,
+// contiguous sequence numbers) and its share of the transmission counters —
+// and computes the private origin that keeps the next frame on the flow's
+// schedule. Without adopt the caller is about to reset everything anyway
+// (restart). Caller holds sn.mu.
+func (sn *sender) detachSharedLocked(adopt bool) {
+	fl := sn.shared
+	if fl == nil {
+		return
+	}
+	sn.shared = nil
+	cont := sn.srv.flows.detach(sn.srv, fl, sn)
+	if !adopt {
+		return
+	}
+	sn.nextIdx = cont.nextIdx
+	sn.rtpS = cont.rtp
+	sn.framesSent += cont.frames
+	sn.packetsSent += cont.packets
+	sn.bytesSent += cont.bytes
+	if cont.finished {
+		sn.finished = true
+	}
+	// Solve sendAtFor(nextIdx) == cont.nextAt for origin, so private pacing
+	// continues exactly where the flow's schedule left off.
+	pts := time.Duration(cont.nextIdx) * sn.src.FrameInterval()
+	sn.origin = cont.nextAt.Add(-(sn.flow.SendAt + pts))
 }
 
 func (sn *sender) stopTimerLocked() {
@@ -321,9 +446,14 @@ func (sn *sender) stopTimerLocked() {
 }
 
 // report builds the sender's RTCP SR, or nil when the sender is inactive.
+// A shared-flow subscriber relays the flow's SR: same SSRC, same counters —
+// exactly the stream its client receives.
 func (sn *sender) report(now time.Time, mediaTime time.Duration) *rtp.SenderReport {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	if fl := sn.shared; fl != nil {
+		return fl.report(now, mediaTime)
+	}
 	if sn.finished || sn.disabled || sn.rtpS.PacketCount() == 0 {
 		return nil
 	}
@@ -351,10 +481,16 @@ type senderStats struct {
 	skipped int
 }
 
-// stats snapshots the counters race-cleanly.
+// stats snapshots the counters race-cleanly. While attached to a shared
+// flow the sender's own counters are frozen; the subscriber's share of the
+// flow counters (frames fanned to it since attach, including any catch-up
+// patch) is the session's view.
 func (sn *sender) stats() senderStats {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	if fl := sn.shared; fl != nil {
+		return fl.subStats(sn)
+	}
 	return senderStats{
 		frames:  sn.framesSent,
 		packets: sn.packetsSent,

@@ -48,6 +48,13 @@ type Options struct {
 	// serves the control-protocol stats snapshot.
 	Obs *obs.Scope
 
+	// SharedFlows enables the fan-out layer: sessions requesting the same
+	// document attach as subscribers to one paced flow per time-sensitive
+	// stream — one encode and one packet assembly per frame regardless of
+	// the audience size (see sharedflow.go). Off by default: every session
+	// gets private senders, the pre-fan-out behavior.
+	SharedFlows bool
+
 	// Directory, when set, is the cluster's placement/load view: it makes
 	// the advertised peer set per-document, lets doc requests for documents
 	// homed elsewhere answer with a handoff instead of "not found", and
@@ -124,10 +131,25 @@ type Server struct {
 
 	// Data-plane counters, resolved once at construction so the per-frame
 	// emit path increments atomics directly instead of doing a registry
-	// lookup per frame (shared no-ops when telemetry is off).
-	mFrames  *stats.Counter
-	mPackets *stats.Counter
-	mBytes   *stats.Counter
+	// lookup per frame (shared no-ops when telemetry is off). mFrames counts
+	// ENCODES (one per flow frame however many subscribers it fans to);
+	// mDelivered counts per-subscriber frame deliveries, so the two diverge
+	// exactly by the fan-out factor.
+	mFrames    *stats.Counter
+	mPackets   *stats.Counter
+	mBytes     *stats.Counter
+	mDelivered *stats.Counter
+
+	// Shared-flow state: the live flow registry, the cached multi-send
+	// assertion (nil when the transport lacks one — sendMedia then loops),
+	// and the flow lifecycle counters.
+	flows         flowRegistry
+	multi         netsim.MultiSender
+	cFlowsCreated *stats.Counter
+	cFlowsTorn    *stats.Counter
+	cFlowAttaches *stats.Counter
+	cFlowDetaches *stats.Counter
+	cFlowCatchup  *stats.Counter
 
 	// Latency-span instruments, likewise resolved once (shared no-ops when
 	// telemetry is off): sampled frame spans for the emit→wire hop, the
@@ -222,6 +244,13 @@ func New(name string, clk clock.Clock, net netsim.Net, users *auth.DB, db *Datab
 	s.mFrames = opts.Obs.Counter("server_media_frames_sent")
 	s.mPackets = opts.Obs.Counter("server_media_packets_sent")
 	s.mBytes = opts.Obs.Counter("server_media_bytes_sent")
+	s.mDelivered = opts.Obs.Counter("server_media_frames_delivered")
+	s.cFlowsCreated = opts.Obs.Counter("server_flows_created")
+	s.cFlowsTorn = opts.Obs.Counter("server_flows_torn_down")
+	s.cFlowAttaches = opts.Obs.Counter("server_flow_attaches")
+	s.cFlowDetaches = opts.Obs.Counter("server_flow_detaches")
+	s.cFlowCatchup = opts.Obs.Counter("server_flow_catchup_frames")
+	s.multi, _ = net.(netsim.MultiSender)
 	s.spans = opts.Obs.FrameSpans()
 	s.hHandle = opts.Obs.HistogramBounds("server_ctrl_handle", stats.MicroLatencyBounds()...)
 	s.hLiveTick = opts.Obs.HistogramBounds("server_sweep_live_tick", stats.MicroLatencyBounds()...)

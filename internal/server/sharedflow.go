@@ -1,0 +1,507 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/rtp"
+	"repro/internal/scenario"
+)
+
+// This file is the shared-flow fan-out layer: sessions viewing the same
+// document at the same quality level ride ONE paced flow — one frame encode,
+// one packet assembly, N deliveries through the transport's multi-destination
+// send (one refcounted pooled copy on the simulated network). A popular
+// lesson therefore costs O(1) encode + pacing work instead of O(viewers),
+// the broadcast-VoD model of Afrin & Rahaman's adaptive quasi harmonic
+// broadcasting applied to the paper's lesson service.
+//
+// Subscribers join at document request time; late joiners first receive a
+// unicast catch-up patch from the flow's bounded segment cache (the cached
+// tail of recent frames, aligned back to the last GoP start so the first
+// patched video frame is decodable) and then ride the shared pacing cursor.
+// Any per-session divergence — a QoS grade change, pause, reload, disable,
+// suspend or teardown — detaches that subscriber onto its private sender
+// with the flow's forked RTP state (same SSRC, contiguous sequence numbers),
+// leaving the other subscribers untouched. The flow tears down when its last
+// subscriber leaves.
+//
+// Lock order (extends the shard.go hierarchy): shard.mu → sender.mu →
+// flowRegistry.mu → sharedFlow.mu. The per-frame emit path takes ONLY the
+// flow's own mutex — never a shard, sender or registry lock — so paced
+// fan-out emission keeps the data plane's zero shard-lock invariant.
+
+// flowKey identifies one shareable flow: a document's stream encoded at one
+// quality level.
+type flowKey struct {
+	doc    string
+	stream string
+	level  int
+}
+
+// flowSub is one subscriber's membership state: its delivery address and the
+// flow counter baselines at attach time, so per-session stats and the detach
+// continuation cover exactly the frames this subscriber was fanned.
+type flowSub struct {
+	to          netsim.Addr
+	baseFrames  int
+	basePackets int
+	baseBytes   int64
+}
+
+// flowSeg is one cached frame in the flow's bounded segment cache.
+type flowSeg struct {
+	idx  int
+	pts  time.Duration
+	kind media.FrameKind
+	size int
+	buf  []byte // reused across ring laps; holds the frame payload
+}
+
+// segCacheCap bounds the per-flow segment cache. It covers at least one full
+// video GoP (12 frames) plus slack, so a late joiner can always be patched
+// back to a decodable I-frame boundary within the cache horizon.
+const segCacheCap = 16
+
+// sharedFlow is one paced fan-out flow. It owns the pacing timer, the shared
+// RTP sender state, the payload scratch and the segment cache; everything
+// mutable sits behind its own leaf mutex.
+type sharedFlow struct {
+	// Immutable after construction.
+	srv    *Server
+	key    flowKey
+	stream *scenario.Stream
+	src    media.Source
+	sendAt time.Duration // flow-scenario transmission lead of the first subscriber
+	ssrc   uint32
+	from   netsim.Addr
+	emitFn func()
+
+	// mu guards everything below; it is the only lock the paced emit path
+	// takes.
+	mu          sync.Mutex
+	rtpS        *rtp.Sender
+	scratch     []byte
+	origin      time.Time
+	nextIdx     int
+	timer       *clock.Timer
+	finished    bool
+	stopped     bool
+	subs        map[*sender]*flowSub
+	dests       []netsim.Addr
+	framesSent  int
+	packetsSent int
+	bytesSent   int64
+	delivered   int64 // frames × subscribers actually fanned
+	cache       [segCacheCap]flowSeg
+	cacheN      int // frames ever cached; slot = idx % segCacheCap
+}
+
+// flowCont is the continuation a detaching subscriber adopts: the pacing
+// cursor, the wall instant of the next frame, the forked RTP state and the
+// subscriber's share of the transmission counters.
+type flowCont struct {
+	nextIdx  int
+	nextAt   time.Time
+	rtp      *rtp.Sender
+	frames   int
+	packets  int
+	bytes    int64
+	finished bool
+}
+
+// flowRegistry indexes the server's live shared flows.
+type flowRegistry struct {
+	mu    sync.Mutex
+	flows map[flowKey]*sharedFlow
+}
+
+// sendAtForLocked returns the wall send instant of flow frame i.
+func (fl *sharedFlow) sendAtForLocked(i int) time.Time {
+	pts := time.Duration(i) * fl.src.FrameInterval()
+	return fl.origin.Add(fl.sendAt + pts)
+}
+
+func (fl *sharedFlow) armLocked() {
+	if fl.finished || fl.stopped {
+		return
+	}
+	d := fl.sendAtForLocked(fl.nextIdx).Sub(fl.srv.clk.Now())
+	if d < 0 {
+		d = 0
+	}
+	if fl.timer == nil {
+		fl.timer = fl.srv.clk.AfterFunc(d, fl.emitFn)
+	} else {
+		fl.timer.Reset(d)
+	}
+}
+
+func (fl *sharedFlow) stopTimerLocked() {
+	if fl.timer != nil {
+		fl.timer.Stop()
+		fl.timer = nil
+	}
+}
+
+// emit transmits one frame to every subscriber and schedules the next. It
+// runs on the flow's pacing timer and holds only the flow's own lock.
+func (fl *sharedFlow) emit() {
+	fl.mu.Lock()
+	if fl.emitFrameLocked() {
+		fl.armLocked()
+	}
+	fl.mu.Unlock()
+}
+
+// emitFrameLocked encodes the frame at the pacing cursor ONCE, assembles its
+// packets ONCE, and fans each packet out to every subscriber through the
+// transport's multi-destination send. Unlike a private sender there is no
+// QoS lookup: the flow's encode level is fixed by its key, and subscribers
+// whose grading diverges have already been detached. Caller holds fl.mu.
+func (fl *sharedFlow) emitFrameLocked() bool {
+	if fl.finished || fl.stopped {
+		return false
+	}
+	i := fl.nextIdx
+	pts := time.Duration(i) * fl.src.FrameInterval()
+	if fl.stream.Duration > 0 && pts >= fl.stream.Duration {
+		fl.finished = true
+		return false
+	}
+	fl.nextIdx++
+	// Frame-span sampling keys on the frame index, so every subscriber's
+	// client samples exactly the frames the flow stamped — one emit span
+	// per encode, N delivery spans downstream.
+	spanned := fl.srv.spans.Sampled(uint32(i))
+	var spanT0 time.Time
+	if spanned {
+		spanT0 = time.Now()
+	}
+
+	frame := fl.src.FrameAt(i, fl.key.level)
+	fl.scratch = media.AppendPayload(fl.scratch[:0], fl.key.stream, i, frame.Size)
+	payload := fl.scratch
+	fl.storeSegLocked(i, frame, payload)
+
+	fragCount := media.FragmentCount(frame.Size)
+	for fi := 0; fi < fragCount; fi++ {
+		off, fsize := media.FragmentSpan(frame.Size, fi)
+		pb := pktPool.Get(rtp.HeaderSize + media.FrameHeaderSize + fsize)
+		buf := fl.rtpS.AppendNext(pb.B[:0], frame.PTS, fi == fragCount-1, media.FrameHeaderSize+fsize)
+		hdr := media.FrameHeader{
+			Index:     uint32(i),
+			Level:     uint8(frame.Level),
+			Kind:      frame.Kind,
+			Frag:      uint16(fi),
+			FragCount: uint16(fragCount),
+			FrameSize: uint32(frame.Size),
+		}
+		buf = hdr.AppendTo(buf)
+		buf = append(buf, payload[off:off+fsize]...)
+		pb.B = buf
+		fl.packetsSent++
+		fl.bytesSent += int64(media.FrameHeaderSize + fsize)
+		fl.srv.sendMedia(netsim.Packet{From: fl.from, Payload: buf}, fl.dests)
+		pktPool.Put(pb)
+	}
+	fl.framesSent++
+	fl.delivered += int64(len(fl.dests))
+	fl.srv.mFrames.Inc()
+	fl.srv.mPackets.Add(int64(fragCount))
+	fl.srv.mBytes.Add(int64(frame.Size))
+	fl.srv.mDelivered.Add(int64(len(fl.dests)))
+	if spanned {
+		fl.srv.spans.RecordEmit(fl.key.stream, time.Since(spanT0))
+	}
+	return true
+}
+
+// storeSegLocked copies one emitted frame into the bounded segment cache.
+// Slot buffers are reused across ring laps, so the steady state allocates
+// nothing once every slot has grown to the stream's largest frame.
+func (fl *sharedFlow) storeSegLocked(idx int, frame media.Frame, payload []byte) {
+	seg := &fl.cache[idx%segCacheCap]
+	seg.idx = idx
+	seg.pts = frame.PTS
+	seg.kind = frame.Kind
+	seg.size = frame.Size
+	seg.buf = append(seg.buf[:0], payload...)
+	fl.cacheN++
+}
+
+// pump emits up to n frames back-to-back, bypassing the pacing timer — the
+// data-plane load harness's full-rate drive, mirroring sender.pump.
+func (fl *sharedFlow) pump(n int) []time.Duration {
+	times := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		fl.mu.Lock()
+		more := fl.emitFrameLocked()
+		fl.mu.Unlock()
+		times = append(times, time.Since(t0))
+		if !more {
+			break
+		}
+	}
+	return times
+}
+
+// rebuildDestsLocked refreshes the fan-out address list after a membership
+// change. Sorted for deterministic delivery order under the seeded simulator.
+func (fl *sharedFlow) rebuildDestsLocked() {
+	fl.dests = fl.dests[:0]
+	for _, sub := range fl.subs {
+		fl.dests = append(fl.dests, sub.to)
+	}
+	sort.Slice(fl.dests, func(i, j int) bool { return fl.dests[i] < fl.dests[j] })
+}
+
+// flowPatchDelay is how long after an attach the catch-up patch goes on the
+// wire: long enough that the DocResponse (reliable, in-order) has reached
+// the client and its media listeners are up, short against any playout
+// deadline.
+const flowPatchDelay = 50 * time.Millisecond
+
+// catchUpLocked builds a late joiner's unicast catch-up patch from the
+// segment cache, aligned back to the most recent cached GoP start (I-frame)
+// so the first patched frame is decodable. The patch packets reuse the
+// original frame indices, timestamps and payload bytes, with sequence
+// numbers immediately below the flow's cursor at attach time — the joiner's
+// receiver sees one contiguous sequence range: patch below, live frames
+// above, no synthetic loss gap regardless of arrival order. Audio and other
+// GoP-free streams return no patch (every frame is independently decodable,
+// the joiner just rides the live cursor). The packets are returned, not
+// sent: the caller transmits them after flowPatchDelay so they cannot beat
+// the DocResponse to a client that is not yet listening.
+func (fl *sharedFlow) catchUpLocked() (patch [][]byte, frames, packets int, bytes int64) {
+	lo := fl.cacheN - segCacheCap
+	if lo < 0 {
+		lo = 0
+	}
+	gop := -1
+	for i := fl.cacheN - 1; i >= lo; i-- {
+		if fl.cache[i%segCacheCap].kind == media.FrameI {
+			gop = i
+			break
+		}
+	}
+	if gop < 0 {
+		return nil, 0, 0, 0
+	}
+	totalPkts := 0
+	for i := gop; i < fl.cacheN; i++ {
+		totalPkts += media.FragmentCount(fl.cache[i%segCacheCap].size)
+	}
+	seq := fl.rtpS.Seq() - uint16(totalPkts)
+	pt := fl.src.PayloadType(fl.key.level)
+	for i := gop; i < fl.cacheN; i++ {
+		seg := &fl.cache[i%segCacheCap]
+		fragCount := media.FragmentCount(seg.size)
+		for fi := 0; fi < fragCount; fi++ {
+			off, fsize := media.FragmentSpan(seg.size, fi)
+			buf := make([]byte, 0, rtp.HeaderSize+media.FrameHeaderSize+fsize)
+			buf = rtp.AppendHeader(buf, fi == fragCount-1, pt, seq, rtp.ToTimestamp(seg.pts), fl.ssrc)
+			seq++
+			hdr := media.FrameHeader{
+				Index:     uint32(seg.idx),
+				Level:     uint8(fl.key.level),
+				Kind:      seg.kind,
+				Frag:      uint16(fi),
+				FragCount: uint16(fragCount),
+				FrameSize: uint32(seg.size),
+			}
+			buf = hdr.AppendTo(buf)
+			buf = append(buf, seg.buf[off:off+fsize]...)
+			patch = append(patch, buf)
+			packets++
+			bytes += int64(media.FrameHeaderSize + fsize)
+		}
+		frames++
+	}
+	return patch, frames, packets, bytes
+}
+
+// report builds the flow's RTCP SR. Every subscriber's session relays the
+// same SR — correct, since they all receive the same SSRC's stream.
+func (fl *sharedFlow) report(now time.Time, mediaTime time.Duration) *rtp.SenderReport {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.stopped || fl.rtpS.PacketCount() == 0 {
+		return nil
+	}
+	return fl.rtpS.Report(now, mediaTime)
+}
+
+// subStats snapshots one subscriber's share of the flow counters.
+func (fl *sharedFlow) subStats(sn *sender) senderStats {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	sub := fl.subs[sn]
+	if sub == nil {
+		return senderStats{}
+	}
+	return senderStats{
+		frames:  fl.framesSent - sub.baseFrames,
+		packets: fl.packetsSent - sub.basePackets,
+		bytes:   fl.bytesSent - sub.baseBytes,
+	}
+}
+
+// attach joins a sender to the document/stream/level flow, creating the flow
+// if it does not exist (or if only a finished husk remains). It returns the
+// flow, whose SSRC the caller must announce and seed the sender's RTP state
+// with. Caller may hold shard.mu and/or sn.mu per the lock hierarchy.
+func (r *flowRegistry) attach(srv *Server, key flowKey, f *scenario.FlowSpec, src media.Source, sn *sender, to netsim.Addr, origin time.Time) *sharedFlow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.flows == nil {
+		r.flows = map[flowKey]*sharedFlow{}
+	}
+	fl := r.flows[key]
+	if fl != nil {
+		fl.mu.Lock()
+		if fl.finished || fl.stopped {
+			fl.mu.Unlock()
+			delete(r.flows, key)
+			fl = nil
+		} else {
+			patch, cf, cp, cb := fl.catchUpLocked()
+			fl.subs[sn] = &flowSub{
+				to:          to,
+				baseFrames:  fl.framesSent - cf,
+				basePackets: fl.packetsSent - cp,
+				baseBytes:   fl.bytesSent - cb,
+			}
+			fl.rebuildDestsLocked()
+			fl.mu.Unlock()
+			if len(patch) > 0 {
+				srv.cFlowCatchup.Add(int64(cf))
+				srv.mDelivered.Add(int64(cf))
+				from := fl.from
+				srv.clk.AfterFunc(flowPatchDelay, func() {
+					for _, buf := range patch {
+						srv.net.Send(netsim.Packet{From: from, To: to, Payload: buf})
+					}
+				})
+			}
+			srv.cFlowAttaches.Inc()
+			return fl
+		}
+	}
+	fl = &sharedFlow{
+		srv:    srv,
+		key:    key,
+		stream: f.Stream,
+		src:    src,
+		sendAt: f.SendAt,
+		ssrc:   srv.nextSSRC.Add(1),
+		from:   netsim.MakeAddr(srv.Name, mediaPort),
+		origin: origin,
+		subs:   map[*sender]*flowSub{},
+	}
+	fl.emitFn = fl.emit
+	fl.rtpS = rtp.NewSender(fl.ssrc, src.PayloadType(key.level), 0)
+	fl.subs[sn] = &flowSub{to: to}
+	fl.mu.Lock()
+	fl.rebuildDestsLocked()
+	fl.armLocked()
+	fl.mu.Unlock()
+	r.flows[key] = fl
+	srv.cFlowsCreated.Inc()
+	srv.cFlowAttaches.Inc()
+	return fl
+}
+
+// detach removes a subscriber and returns its continuation. When the last
+// subscriber leaves, the flow stops pacing and unregisters — one more attach
+// for the same key will build a fresh flow. Callers hold sn.mu (and possibly
+// shard.mu above it); the registry lock is taken before the flow lock, the
+// same order as attach.
+func (r *flowRegistry) detach(srv *Server, fl *sharedFlow, sn *sender) flowCont {
+	r.mu.Lock()
+	fl.mu.Lock()
+	sub := fl.subs[sn]
+	cont := flowCont{
+		nextIdx:  fl.nextIdx,
+		nextAt:   fl.sendAtForLocked(fl.nextIdx),
+		rtp:      fl.rtpS.Fork(),
+		finished: fl.finished,
+	}
+	if sub != nil {
+		cont.frames = fl.framesSent - sub.baseFrames
+		cont.packets = fl.packetsSent - sub.basePackets
+		cont.bytes = fl.bytesSent - sub.baseBytes
+		delete(fl.subs, sn)
+		fl.rebuildDestsLocked()
+	}
+	last := len(fl.subs) == 0
+	if last && !fl.stopped {
+		fl.stopped = true
+		fl.stopTimerLocked()
+		if r.flows[fl.key] == fl {
+			delete(r.flows, fl.key)
+		}
+		srv.cFlowsTorn.Inc()
+	}
+	fl.mu.Unlock()
+	r.mu.Unlock()
+	srv.cFlowDetaches.Inc()
+	return cont
+}
+
+// FlowStat is one live shared flow's public snapshot.
+type FlowStat struct {
+	Doc         string
+	Stream      string
+	Level       int
+	Subscribers int
+	Frames      int
+	Delivered   int64
+}
+
+// FlowStats snapshots every live shared flow (empty when shared flows are
+// off or no flow is active).
+func (s *Server) FlowStats() []FlowStat {
+	s.flows.mu.Lock()
+	defer s.flows.mu.Unlock()
+	out := make([]FlowStat, 0, len(s.flows.flows))
+	for key, fl := range s.flows.flows {
+		fl.mu.Lock()
+		out = append(out, FlowStat{
+			Doc:         key.doc,
+			Stream:      key.stream,
+			Level:       key.level,
+			Subscribers: len(fl.subs),
+			Frames:      fl.framesSent,
+			Delivered:   fl.delivered,
+		})
+		fl.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Doc != out[j].Doc {
+			return out[i].Doc < out[j].Doc
+		}
+		return out[i].Stream < out[j].Stream
+	})
+	return out
+}
+
+// sendMedia ships one media packet to every destination: the transport's
+// multi-destination fan-out when it has one (cached assertion, one refcounted
+// payload copy), a per-destination Send loop otherwise.
+func (s *Server) sendMedia(pkt netsim.Packet, tos []netsim.Addr) {
+	if s.multi != nil {
+		s.multi.SendMulti(pkt, tos)
+		return
+	}
+	for _, to := range tos {
+		p := pkt
+		p.To = to
+		s.net.Send(p)
+	}
+}
