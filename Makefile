@@ -29,7 +29,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-dataplane bench-controlplane bench-cluster bench-verify
+.PHONY: check vet build test race chaos bench-dataplane bench-controlplane bench-cluster bench-netsim bench-verify
 
 check: vet build test race bench-verify
 
@@ -43,7 +43,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/... ./internal/client/... ./internal/server/... ./internal/media/... ./internal/rtp/... ./internal/cluster/...
+	$(GO) test -race ./internal/clock/... ./internal/transport/... ./internal/netsim/... ./internal/obs/... ./internal/playout/... ./internal/client/... ./internal/server/... ./internal/media/... ./internal/rtp/... ./internal/cluster/...
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/...
@@ -58,6 +58,10 @@ bench-controlplane:
 
 bench-cluster:
 	$(GO) run ./cmd/experiments -cluster BENCH_cluster.json
+
+bench-netsim:
+	$(GO) test -bench BenchmarkVirtualRun -benchmem -run '^$$' ./internal/clock/
+	$(GO) run ./cmd/experiments -netsim BENCH_netsim.json
 
 bench-verify:
 	$(GO) run ./cmd/experiments -verify-bench .

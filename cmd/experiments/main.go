@@ -25,6 +25,7 @@ func main() {
 	dataplane := flag.String("dataplane", "", "run the data-plane load benchmark and write its JSON results to this path")
 	controlplane := flag.String("controlplane", "", "run the control-plane load benchmark and write its JSON results to this path")
 	clusterOut := flag.String("cluster", "", "run the federated-cluster load/chaos benchmark and write its JSON results to this path")
+	netsimOut := flag.String("netsim", "", "run the sharded discrete-event simulator benchmark and write its JSON results to this path")
 	verifyBench := flag.String("verify-bench", "", "validate every committed BENCH_*.json under this directory against its schema and gates, then exit")
 	flag.Parse()
 
@@ -55,6 +56,26 @@ func main() {
 		}
 		fmt.Println(tb)
 		fmt.Printf("wrote %s\n", *controlplane)
+		return
+	}
+
+	if *netsimOut != "" {
+		tb, rep, err := experiments.Netsim(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*netsimOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+		fmt.Printf("wrote %s\n", *netsimOut)
 		return
 	}
 

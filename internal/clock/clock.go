@@ -85,6 +85,7 @@ type Virtual struct {
 	now    time.Time
 	events eventHeap
 	seq    uint64 // tie-break so equal deadlines fire FIFO
+	fired  uint64 // lifetime count of events popped for firing
 }
 
 // NewVirtual returns a virtual clock starting at the given epoch.
@@ -194,17 +195,14 @@ func (v *Virtual) At(t time.Time, fn func()) *Timer {
 	return v.AfterFunc(t.Sub(v.Now()), fn)
 }
 
-// popDue pops the earliest event not after target, returning nil when none.
-func (v *Virtual) popDue(target time.Time) *event {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if len(v.events) == 0 || v.events[0].at.After(target) {
-		return nil
-	}
+// popNextLocked pops the earliest event and advances now to its deadline.
+// Caller holds v.mu and has checked the heap is non-empty.
+func (v *Virtual) popNextLocked() *event {
 	ev := heap.Pop(&v.events).(*event)
 	if ev.at.After(v.now) {
 		v.now = ev.at
 	}
+	v.fired++
 	return ev
 }
 
@@ -214,20 +212,23 @@ func (v *Virtual) popDue(target time.Time) *event {
 func (v *Virtual) Advance(d time.Duration) { v.AdvanceTo(v.Now().Add(d)) }
 
 // AdvanceTo moves virtual time forward to t (no-op if t is not after now),
-// firing due timers along the way.
+// firing due timers along the way. The driving loop takes the lock exactly
+// once per fired event: peek, pop and time-advance happen under a single
+// acquisition, then the callback runs unlocked.
 func (v *Virtual) AdvanceTo(t time.Time) {
 	for {
-		ev := v.popDue(t)
-		if ev == nil {
-			break
+		v.mu.Lock()
+		if len(v.events) == 0 || v.events[0].at.After(t) {
+			if t.After(v.now) {
+				v.now = t
+			}
+			v.mu.Unlock()
+			return
 		}
+		ev := v.popNextLocked()
+		v.mu.Unlock()
 		ev.fn()
 	}
-	v.mu.Lock()
-	if t.After(v.now) {
-		v.now = t
-	}
-	v.mu.Unlock()
 }
 
 // Step fires the single earliest pending timer, advancing time to its
@@ -238,19 +239,16 @@ func (v *Virtual) Step() bool {
 		v.mu.Unlock()
 		return false
 	}
-	target := v.events[0].at
+	ev := v.popNextLocked()
 	v.mu.Unlock()
-	ev := v.popDue(target)
-	if ev == nil {
-		return false
-	}
 	ev.fn()
 	return true
 }
 
 // Run fires timers in order until none remain or until the next deadline
 // would exceed horizon. It returns the number of events fired. A zero
-// horizon means run until idle.
+// horizon means run until idle. Like AdvanceTo, the loop costs one lock
+// acquisition per fired event.
 func (v *Virtual) Run(horizon time.Time) int {
 	fired := 0
 	for {
@@ -259,15 +257,17 @@ func (v *Virtual) Run(horizon time.Time) int {
 			v.mu.Unlock()
 			return fired
 		}
-		next := v.events[0].at
-		v.mu.Unlock()
-		if !horizon.IsZero() && next.After(horizon) {
-			v.AdvanceTo(horizon)
+		if !horizon.IsZero() && v.events[0].at.After(horizon) {
+			if horizon.After(v.now) {
+				v.now = horizon
+			}
+			v.mu.Unlock()
 			return fired
 		}
-		if v.Step() {
-			fired++
-		}
+		ev := v.popNextLocked()
+		v.mu.Unlock()
+		ev.fn()
+		fired++
 	}
 }
 
@@ -294,6 +294,15 @@ func (v *Virtual) Pending() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return len(v.events)
+}
+
+// FiredCount reports the lifetime number of events this clock has fired.
+// The sharded driver uses deltas of this counter to report how many events a
+// window ran without instrumenting the callbacks themselves.
+func (v *Virtual) FiredCount() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.fired
 }
 
 var (

@@ -46,6 +46,10 @@ func VerifyBenchFiles(dir string) (string, error) {
 			if err := verifyClusterFile(p); err != nil {
 				return "", err
 			}
+		case "BENCH_netsim.json":
+			if err := verifyNetsimFile(p); err != nil {
+				return "", err
+			}
 		default:
 			return "", fmt.Errorf("bench-verify: unknown benchmark artifact %s (register its schema in internal/experiments/benchverify.go)", base)
 		}
@@ -124,6 +128,24 @@ func verifyDataPlaneFile(path string) error {
 	if f.AllocsPerDelivered > fanoutAllocsGate {
 		return fmt.Errorf("bench-verify: %s: fanout allocs_per_delivered %.3f exceeds the %.2f gate",
 			path, f.AllocsPerDelivered, fanoutAllocsGate)
+	}
+	return nil
+}
+
+func verifyNetsimFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep NetsimReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("bench-verify: %s: %w", path, err)
+	}
+	// The same gates Netsim applied at generation time — including the
+	// CPU-aware speedup bar, evaluated against the core count recorded in
+	// the artifact, so verification is host-independent.
+	if err := checkNetsimReport(&rep); err != nil {
+		return fmt.Errorf("bench-verify: %s: %w", path, err)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/stats"
 )
 
@@ -28,6 +29,7 @@ type CrossTraffic struct {
 // crossState runs one cross-traffic source.
 type crossState struct {
 	net      *Network
+	clk      clock.Clock
 	cfg      CrossTraffic
 	from, to string
 	rng      *stats.RNG
@@ -37,8 +39,10 @@ type crossState struct {
 }
 
 // AddCrossTraffic starts a background traffic source on the directed link.
-// The clock drives it; in simulations it participates in the same
-// deterministic event order as everything else.
+// The sending host's shard clock drives it, so in simulations (sharded or
+// not) it participates in the same deterministic event order as everything
+// else on that shard; its RNG splits off the shard's stream, preserving the
+// single-shard draw sequence exactly.
 func (n *Network) AddCrossTraffic(from, to string, cfg CrossTraffic) {
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = 1000
@@ -46,15 +50,14 @@ func (n *Network) AddCrossTraffic(from, to string, cfg CrossTraffic) {
 	if cfg.Rate <= 0 {
 		return
 	}
-	n.mu.Lock()
-	rng := n.rng.Split()
-	clk := n.clk
-	epoch := n.epoch
-	n.mu.Unlock()
-	cs := &crossState{net: n, cfg: cfg, from: from, to: to, rng: rng, on: true, epoch: epoch}
-	clk.AfterFunc(cfg.Start, cs.tick)
+	s := n.shardFor(from)
+	s.mu.Lock()
+	rng := s.rng.Split()
+	s.mu.Unlock()
+	cs := &crossState{net: n, clk: s.clk, cfg: cfg, from: from, to: to, rng: rng, on: true, epoch: n.epoch}
+	s.clk.AfterFunc(cfg.Start, cs.tick)
 	if cfg.OffMean > 0 {
-		clk.AfterFunc(cfg.Start+cs.expDur(cfg.OnMean), cs.toggle)
+		s.clk.AfterFunc(cfg.Start+cs.expDur(cfg.OnMean), cs.toggle)
 	}
 }
 
@@ -75,10 +78,7 @@ func (cs *crossState) done(now time.Time) bool {
 // tick emits one filler packet and schedules the next at the configured
 // rate (exponential inter-arrivals → Poisson packet process).
 func (cs *crossState) tick() {
-	cs.net.mu.Lock()
-	clk := cs.net.clk
-	cs.net.mu.Unlock()
-	now := clk.Now()
+	now := cs.clk.Now()
 	if cs.stopped || cs.done(now) {
 		return
 	}
@@ -95,15 +95,12 @@ func (cs *crossState) tick() {
 	if next < time.Microsecond {
 		next = time.Microsecond
 	}
-	clk.AfterFunc(next, cs.tick)
+	cs.clk.AfterFunc(next, cs.tick)
 }
 
 // toggle flips the on/off burst state.
 func (cs *crossState) toggle() {
-	cs.net.mu.Lock()
-	clk := cs.net.clk
-	cs.net.mu.Unlock()
-	now := clk.Now()
+	now := cs.clk.Now()
 	if cs.stopped || cs.done(now) {
 		return
 	}
@@ -112,5 +109,5 @@ func (cs *crossState) toggle() {
 	if !cs.on {
 		mean = cs.cfg.OffMean
 	}
-	clk.AfterFunc(cs.expDur(mean), cs.toggle)
+	cs.clk.AfterFunc(cs.expDur(mean), cs.toggle)
 }

@@ -8,11 +8,25 @@
 // All fault schedules are expressed as offsets from the network's epoch
 // (the clock time at New), the same convention as Phase, so a run is fully
 // determined by the seed and the fault schedule.
+//
+// Fault state is global to the network — a partition spans two shards by
+// nature — so it lives behind its own small lock rather than any shard's.
+// An atomic fault-count keeps the fault-free hot path lock-free: when no
+// fault of any kind is registered, check returns without touching the
+// mutex, so sharded senders never serialize on it. Scheduled windows
+// (AddPartition, AddOutage) are deterministic under sharding because they
+// are pure functions of the epoch offset; dynamic flips (SetHostDown,
+// DropNext) issued from outside the simulation while shards are running are
+// race-safe but land at a nondeterministic window boundary — drive them
+// from simulated events (timers on a shard clock) when replay fidelity
+// matters.
 package netsim
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,52 +69,85 @@ func partitionKey(a, b string) string {
 	return a + "⇹" + b
 }
 
+// faultState holds every injected fault, guarded by its own mutex with an
+// atomic registered-fault count as the lock-free fast path.
+type faultState struct {
+	mu         sync.Mutex
+	active     atomic.Int32
+	partitions map[string][]faultWindow
+	outages    map[string][]faultWindow
+	downHosts  map[string]bool
+	oneShots   []*oneShotDrop
+}
+
+// recountLocked refreshes the fast-path counter after a mutation.
+func (f *faultState) recountLocked() {
+	n := len(f.downHosts) + len(f.oneShots)
+	for _, ws := range f.partitions {
+		n += len(ws)
+	}
+	for _, ws := range f.outages {
+		n += len(ws)
+	}
+	f.active.Store(int32(n))
+}
+
 // AddPartition schedules a bidirectional partition between hosts a and b:
 // every packet between them sent in [start, start+duration) — reliable or
 // not — is dropped. start is an offset from the network's epoch.
 func (n *Network) AddPartition(a, b string, start, duration time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.partitions == nil {
-		n.partitions = map[string][]faultWindow{}
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitions == nil {
+		f.partitions = map[string][]faultWindow{}
 	}
 	key := partitionKey(a, b)
-	n.partitions[key] = append(n.partitions[key], faultWindow{start: start, end: start + duration})
+	f.partitions[key] = append(f.partitions[key], faultWindow{start: start, end: start + duration})
+	f.recountLocked()
 }
 
 // AddOutage schedules a blackhole for one host: during [start,
 // start+duration) every packet to or from it is dropped, modeling a crash
 // followed by a restart. start is an offset from the network's epoch.
 func (n *Network) AddOutage(host string, start, duration time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.outages == nil {
-		n.outages = map[string][]faultWindow{}
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.outages == nil {
+		f.outages = map[string][]faultWindow{}
 	}
-	n.outages[host] = append(n.outages[host], faultWindow{start: start, end: start + duration})
+	f.outages[host] = append(f.outages[host], faultWindow{start: start, end: start + duration})
+	f.recountLocked()
 }
 
 // SetHostDown crashes (true) or restarts (false) a host immediately: while
 // down, every packet to or from it is dropped. Unlike AddOutage the
 // duration is open-ended, for tests that decide recovery dynamically.
 func (n *Network) SetHostDown(host string, down bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.downHosts == nil {
-		n.downHosts = map[string]bool{}
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downHosts == nil {
+		f.downHosts = map[string]bool{}
 	}
 	if down {
-		n.downHosts[host] = true
+		f.downHosts[host] = true
 	} else {
-		delete(n.downHosts, host)
+		delete(f.downHosts, host)
 	}
+	f.recountLocked()
 }
 
 // HostDown reports whether the host is currently crashed via SetHostDown.
 func (n *Network) HostDown(host string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.downHosts[host]
+	f := &n.faults
+	if f.active.Load() == 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.downHosts[host]
 }
 
 // DropNext swallows the next count packets sent from one host to another
@@ -118,43 +165,52 @@ func (n *Network) DropNextMatching(count int, reason string, pred func(Packet) b
 	if count <= 0 || pred == nil {
 		return
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.oneShots = append(n.oneShots, &oneShotDrop{remaining: count, reason: reason, match: pred})
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.oneShots = append(f.oneShots, &oneShotDrop{remaining: count, reason: reason, match: pred})
+	f.recountLocked()
 }
 
-// faultLocked decides whether an injected fault kills the packet. Caller
-// holds n.mu. offset is the send time relative to the epoch. The returned
-// error wraps the typed cause (ErrHostDown, ErrOutage, ErrPartitioned) and
-// its text doubles as the DropHandler reason.
-func (n *Network) faultLocked(pkt Packet, offset time.Duration) (error, bool) {
+// check decides whether an injected fault kills the packet. offset is the
+// send time relative to the epoch. The returned error wraps the typed
+// cause (ErrHostDown, ErrOutage, ErrPartitioned) and its text doubles as
+// the DropHandler reason. With no faults registered it is a single atomic
+// load.
+func (f *faultState) check(pkt Packet, offset time.Duration) (error, bool) {
+	if f.active.Load() == 0 {
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	fromH, toH := pkt.From.Host(), pkt.To.Host()
-	if n.downHosts[fromH] {
+	if f.downHosts[fromH] {
 		return fmt.Errorf("%w: %s", ErrHostDown, fromH), true
 	}
-	if n.downHosts[toH] {
+	if f.downHosts[toH] {
 		return fmt.Errorf("%w: %s", ErrHostDown, toH), true
 	}
-	for _, w := range n.outages[fromH] {
+	for _, w := range f.outages[fromH] {
 		if w.contains(offset) {
 			return fmt.Errorf("%w: %s", ErrOutage, fromH), true
 		}
 	}
-	for _, w := range n.outages[toH] {
+	for _, w := range f.outages[toH] {
 		if w.contains(offset) {
 			return fmt.Errorf("%w: %s", ErrOutage, toH), true
 		}
 	}
-	for _, w := range n.partitions[partitionKey(fromH, toH)] {
+	for _, w := range f.partitions[partitionKey(fromH, toH)] {
 		if w.contains(offset) {
 			return fmt.Errorf("%w: %s⇹%s", ErrPartitioned, fromH, toH), true
 		}
 	}
-	for i, os := range n.oneShots {
+	for i, os := range f.oneShots {
 		if os.match(pkt) {
 			os.remaining--
 			if os.remaining <= 0 {
-				n.oneShots = append(n.oneShots[:i], n.oneShots[i+1:]...)
+				f.oneShots = append(f.oneShots[:i], f.oneShots[i+1:]...)
+				f.recountLocked()
 			}
 			return errors.New(os.reason), true
 		}

@@ -1,0 +1,365 @@
+// The netsim load harness: the packet-throughput workload behind
+// `make bench-netsim` (BENCH_netsim.json) and the determinism regression
+// tests. Two scenarios:
+//
+//   - RunLoad: a steady-state packet mill — G fixed host groups, each with a
+//     population of paced clients talking mostly to their own group's server
+//     with a deterministic fraction of remote traffic. The group structure
+//     is independent of the shard count (group → shard is g mod shards), so
+//     the same seed offers the identical workload at every shard count and
+//     the shards=1 row is a true baseline for the speedup column.
+//
+//   - RunAdmissionStorm: the scale headline — 100k+ clients connect over a
+//     short ramp, each admitted with a reliable connect/ack exchange and two
+//     paced follow-ups. Memory stays bounded because per-link delay records
+//     live in fixed-cap reservoirs (SetDelaySampleCap).
+//
+// Both report the network's replay digest, which the determinism tests
+// compare across GOMAXPROCS settings and reruns.
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// LoadConfig parameterizes the steady-state packet mill.
+type LoadConfig struct {
+	Shards          int           // virtual-clock shards (default 1)
+	Groups          int           // fixed host groups, workload-invariant (default 8)
+	ClientsPerGroup int           // paced senders per group (default 64)
+	Lookahead       time.Duration // conservative window = min cross-group delay (default 10ms)
+	Duration        time.Duration // simulated run length (default 5s)
+	SendEvery       time.Duration // per-client send period (default 20ms)
+	RemotePermille  int           // ‰ of sends aimed at a remote group's server (default 100)
+	PayloadSize     int           // bytes per packet (default 512)
+	Seed            uint64
+}
+
+func (c *LoadConfig) defaults() {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Groups < 1 {
+		c.Groups = 8
+	}
+	if c.ClientsPerGroup < 1 {
+		c.ClientsPerGroup = 64
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 10 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.SendEvery <= 0 {
+		c.SendEvery = 20 * time.Millisecond
+	}
+	if c.RemotePermille < 0 {
+		c.RemotePermille = 0
+	}
+	if c.RemotePermille == 0 {
+		c.RemotePermille = 100
+	}
+	if c.PayloadSize <= 0 {
+		c.PayloadSize = 512
+	}
+}
+
+// LoadResult is one harness run's report; JSON-tagged for BENCH_netsim.json.
+type LoadResult struct {
+	Shards           int     `json:"shards"`
+	Groups           int     `json:"groups"`
+	Clients          int     `json:"clients"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	WallMillis       float64 `json:"wall_millis"`
+	Events           int     `json:"events"`
+	PacketsSent      int     `json:"packets_sent"`
+	PacketsDelivered int     `json:"packets_delivered"`
+	PacketsDropped   int     `json:"packets_dropped"`
+	// PacketsPerSec is simulated packet deliveries per wall-clock second —
+	// the throughput the speedup column is computed from.
+	PacketsPerSec    float64 `json:"packets_per_sec"`
+	CrossSent        int64   `json:"cross_sent"`
+	CrossClamps      int64   `json:"cross_clamps"`
+	MailboxHighWater int64   `json:"mailbox_high_water"`
+	BarrierRounds    int64   `json:"barrier_rounds"`
+	Digest           uint64  `json:"digest"`
+	HeapMB           float64 `json:"heap_mb"`
+}
+
+// Host naming: group g's server is "gNN-srv", its clients "gNN-cJJJJJJ". The
+// group number is what the shard map keys on, so placement is a pure
+// function of the name.
+func groupServer(g int) string    { return fmt.Sprintf("g%02d-srv", g) }
+func groupClient(g, j int) string { return fmt.Sprintf("g%02d-c%06d", g, j) }
+func hostGroup(host string) int {
+	g := 0
+	for i := 1; i < len(host) && host[i] >= '0' && host[i] <= '9'; i++ {
+		g = g*10 + int(host[i]-'0')
+	}
+	return g
+}
+
+// GroupShardOf is the harness's host→shard assignment: group g lands on
+// shard g mod shards, so co-group hosts always share a shard and the group
+// structure (and therefore the workload) is invariant across shard counts.
+func GroupShardOf(shards int) func(string) int {
+	if shards < 1 {
+		shards = 1
+	}
+	return func(host string) int { return hostGroup(host) % shards }
+}
+
+// buildLoadNet stands up the sharded driver and network for a harness run:
+// intra-group links are short (2ms), everything else — including every
+// possible cross-group and therefore cross-shard path — uses the default
+// link whose propagation delay equals the lookahead.
+func buildLoadNet(shards int, lookahead time.Duration, seed uint64) (*clock.ShardedVirtual, *Network) {
+	sv := clock.NewShardedSim(shards, lookahead)
+	n := NewSharded(sv, seed, GroupShardOf(shards))
+	n.SetDefaultLink(LinkConfig{
+		Bandwidth: 100_000_000,
+		Delay:     lookahead,
+		Jitter:    2 * time.Millisecond,
+		Loss:      0.002,
+	})
+	return sv, n
+}
+
+// RunLoad drives the steady-state packet mill and reports throughput.
+func RunLoad(cfg LoadConfig) LoadResult {
+	cfg.defaults()
+	sv, n := buildLoadNet(cfg.Shards, cfg.Lookahead, cfg.Seed)
+	intra := LinkConfig{
+		Bandwidth: 100_000_000,
+		Delay:     2 * time.Millisecond,
+		Jitter:    500 * time.Microsecond,
+		Loss:      0.001,
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		n.Listen(Addr(groupServer(g)+":7000"), func(Packet) {})
+	}
+	horizon := clock.Epoch.Add(cfg.Duration)
+	payload := make([]byte, cfg.PayloadSize)
+	for g := 0; g < cfg.Groups; g++ {
+		for j := 0; j < cfg.ClientsPerGroup; j++ {
+			g, j := g, j
+			host := groupClient(g, j)
+			n.SetLink(host, groupServer(g), intra)
+			id := uint64(g)<<32 | uint64(j)
+			shard := sv.Shard(GroupShardOf(cfg.Shards)(host))
+			from := Addr(host + ":9000")
+			seq := 0
+			var tick func()
+			tick = func() {
+				seq++
+				// Destination choice is pure arithmetic on (seed, id, seq):
+				// identical at every shard count and GOMAXPROCS.
+				draw := mix64(cfg.Seed ^ id ^ uint64(seq)<<1)
+				dstGroup := g
+				if cfg.Groups > 1 && int(draw%1000) < cfg.RemotePermille {
+					dstGroup = int((draw >> 10) % uint64(cfg.Groups-1))
+					if dstGroup >= g {
+						dstGroup++
+					}
+				}
+				n.Send(Packet{
+					From:    from,
+					To:      Addr(groupServer(dstGroup) + ":7000"),
+					Payload: payload,
+				})
+				if next := shard.Now().Add(cfg.SendEvery); next.Before(horizon) {
+					shard.AfterFunc(cfg.SendEvery, tick)
+				}
+			}
+			// Staggered deterministic start phase within one period.
+			phase := time.Duration(mix64(cfg.Seed^id) % uint64(cfg.SendEvery))
+			shard.AfterFunc(phase, tick)
+		}
+	}
+
+	runtime.GC()
+	start := time.Now()
+	events := sv.Run(horizon)
+	wall := time.Since(start)
+
+	return finishResult(cfg.Shards, cfg.Groups, cfg.Groups*cfg.ClientsPerGroup,
+		cfg.Duration, wall, events, sv, n)
+}
+
+// StormConfig parameterizes the admission storm.
+type StormConfig struct {
+	Shards    int
+	Groups    int           // default 8
+	Clients   int           // default 100_000
+	Ramp      time.Duration // connect arrivals spread over this window (default 2s)
+	Lookahead time.Duration // default 10ms
+	Seed      uint64
+}
+
+func (c *StormConfig) defaults() {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Groups < 1 {
+		c.Groups = 8
+	}
+	if c.Clients < 1 {
+		c.Clients = 100_000
+	}
+	if c.Ramp <= 0 {
+		c.Ramp = 2 * time.Second
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 10 * time.Millisecond
+	}
+}
+
+// StormResult reports the admission storm; JSON-tagged for BENCH_netsim.json.
+type StormResult struct {
+	Shards           int     `json:"shards"`
+	Clients          int     `json:"clients"`
+	Acked            int64   `json:"acked"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	WallMillis       float64 `json:"wall_millis"`
+	Events           int     `json:"events"`
+	PacketsSent      int     `json:"packets_sent"`
+	PacketsDelivered int     `json:"packets_delivered"`
+	PacketsDropped   int     `json:"packets_dropped"`
+	PacketsPerSec    float64 `json:"packets_per_sec"`
+	CrossSent        int64   `json:"cross_sent"`
+	MailboxHighWater int64   `json:"mailbox_high_water"`
+	Digest           uint64  `json:"digest"`
+	HeapMB           float64 `json:"heap_mb"`
+}
+
+// RunAdmissionStorm connects cfg.Clients clients over the ramp window: each
+// sends a reliable connect, the group server acks it reliably, and the
+// client follows up with two paced unreliable requests — roughly four
+// packets per client, >400k for the default 100k clients. Per-link delay
+// reservoirs keep memory bounded no matter the population.
+func RunAdmissionStorm(cfg StormConfig) StormResult {
+	cfg.defaults()
+	sv, n := buildLoadNet(cfg.Shards, cfg.Lookahead, cfg.Seed)
+
+	// acked is indexed by shard; each slot is only ever touched by its own
+	// shard's worker (the ack handler runs on the client's shard).
+	acked := make([]int64, cfg.Shards)
+	shardOf := GroupShardOf(cfg.Shards)
+	for g := 0; g < cfg.Groups; g++ {
+		srv := Addr(groupServer(g) + ":7000")
+		n.Listen(srv, func(pkt Packet) {
+			if len(pkt.Payload) == connectSize {
+				n.Send(Packet{From: srv, To: pkt.From, Payload: ackPayload, Reliable: true})
+			}
+		})
+	}
+	followUp := make([]byte, 64)
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		g := i % cfg.Groups
+		host := groupClient(g, i/cfg.Groups)
+		from := Addr(host + ":9000")
+		srv := Addr(groupServer(g) + ":7000")
+		shardID := shardOf(host)
+		shard := sv.Shard(shardID)
+		gotAck := false
+		n.Listen(from, func(Packet) {
+			if gotAck {
+				return
+			}
+			gotAck = true
+			acked[shardID]++
+			for k := 1; k <= 2; k++ {
+				// The second follow-up of every tenth client fetches from a
+				// remote group's server, so the storm also exercises the
+				// cross-shard mailbox (deterministic on seed, client, k).
+				dst := srv
+				if k == 2 && i%10 == 0 && cfg.Groups > 1 {
+					rg := int(mix64(cfg.Seed^uint64(i)^uint64(k)) % uint64(cfg.Groups-1))
+					if rg >= g {
+						rg++
+					}
+					dst = Addr(groupServer(rg) + ":7000")
+				}
+				shard.AfterFunc(time.Duration(k)*50*time.Millisecond, func() {
+					n.Send(Packet{From: from, To: dst, Payload: followUp})
+				})
+			}
+		})
+		// Arrivals spread uniformly over the ramp, deterministically jittered.
+		at := time.Duration(uint64(cfg.Ramp) * uint64(i) / uint64(cfg.Clients))
+		at += time.Duration(mix64(cfg.Seed^uint64(i)) % uint64(time.Millisecond))
+		shard.AfterFunc(at, func() {
+			n.Send(Packet{From: from, To: srv, Payload: connectPayload, Reliable: true})
+		})
+	}
+
+	runtime.GC()
+	start := time.Now()
+	events := sv.RunUntilIdle()
+	wall := time.Since(start)
+
+	var ackTotal int64
+	for _, a := range acked {
+		ackTotal += a
+	}
+	lr := finishResult(cfg.Shards, cfg.Groups, cfg.Clients, sv.Since(clock.Epoch), wall, events, sv, n)
+	return StormResult{
+		Shards:           lr.Shards,
+		Clients:          cfg.Clients,
+		Acked:            ackTotal,
+		SimSeconds:       lr.SimSeconds,
+		WallMillis:       lr.WallMillis,
+		Events:           lr.Events,
+		PacketsSent:      lr.PacketsSent,
+		PacketsDelivered: lr.PacketsDelivered,
+		PacketsDropped:   lr.PacketsDropped,
+		PacketsPerSec:    lr.PacketsPerSec,
+		CrossSent:        lr.CrossSent,
+		MailboxHighWater: lr.MailboxHighWater,
+		Digest:           lr.Digest,
+		HeapMB:           lr.HeapMB,
+	}
+}
+
+const connectSize = 128
+
+var (
+	connectPayload = make([]byte, connectSize)
+	ackPayload     = make([]byte, 32)
+)
+
+// finishResult rolls one completed run into a LoadResult.
+func finishResult(shards, groups, clients int, simDur, wall time.Duration, events int, sv *clock.ShardedVirtual, n *Network) LoadResult {
+	sent, delivered, dropped, _ := n.Totals()
+	crossSent, clamps, _, hw, rounds := sv.CrossStats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pps := 0.0
+	if wall > 0 {
+		pps = float64(delivered) / wall.Seconds()
+	}
+	return LoadResult{
+		Shards:           shards,
+		Groups:           groups,
+		Clients:          clients,
+		SimSeconds:       simDur.Seconds(),
+		WallMillis:       float64(wall) / float64(time.Millisecond),
+		Events:           events,
+		PacketsSent:      sent,
+		PacketsDelivered: delivered,
+		PacketsDropped:   dropped,
+		PacketsPerSec:    pps,
+		CrossSent:        crossSent,
+		CrossClamps:      clamps,
+		MailboxHighWater: hw,
+		BarrierRounds:    rounds,
+		Digest:           n.DeliveryDigest(),
+		HeapMB:           float64(ms.HeapAlloc) / (1 << 20),
+	}
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func quickLoadCfg(shards int) LoadConfig {
+	return LoadConfig{
+		Shards:          shards,
+		Groups:          8,
+		ClientsPerGroup: 4,
+		Duration:        500 * time.Millisecond,
+		Seed:            0xC4A05,
+	}
+}
+
+// TestLoadDeterministicAcrossGOMAXPROCS is the determinism regression the
+// sharded rewrite is gated on: the same seed and shard map must replay
+// byte-identically (same delivery digest, same packet counts) whether the
+// windows run on one core or many, and across reruns.
+func TestLoadDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	runAt := func(shards, procs int) LoadResult {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		return RunLoad(quickLoadCfg(shards))
+	}
+	for _, shards := range []int{1, 8} {
+		serial := runAt(shards, 1)
+		parallel := runAt(shards, runtime.NumCPU())
+		replay := runAt(shards, runtime.NumCPU())
+		if serial.Digest != parallel.Digest || parallel.Digest != replay.Digest {
+			t.Fatalf("shards=%d digests diverge: GOMAXPROCS=1 %x, =%d %x, replay %x",
+				shards, serial.Digest, runtime.NumCPU(), parallel.Digest, replay.Digest)
+		}
+		if serial.PacketsSent != parallel.PacketsSent || serial.PacketsDelivered != parallel.PacketsDelivered {
+			t.Fatalf("shards=%d counts diverge: %d/%d vs %d/%d sent/delivered",
+				shards, serial.PacketsSent, serial.PacketsDelivered, parallel.PacketsSent, parallel.PacketsDelivered)
+		}
+		if serial.PacketsDelivered == 0 {
+			t.Fatalf("shards=%d delivered nothing", shards)
+		}
+	}
+}
+
+// TestLoadWorkloadInvariantAcrossShardCounts pins the harness design point
+// that makes the speedup column honest: the offered load (sends) is pure
+// arithmetic on (seed, client, seq), so sharding changes who simulates a
+// host — never what the host does.
+func TestLoadWorkloadInvariantAcrossShardCounts(t *testing.T) {
+	base := RunLoad(quickLoadCfg(1))
+	for _, shards := range []int{2, 8} {
+		r := RunLoad(quickLoadCfg(shards))
+		if r.PacketsSent != base.PacketsSent {
+			t.Fatalf("shards=%d offered %d packets, shards=1 offered %d; workload must not depend on the shard map",
+				shards, r.PacketsSent, base.PacketsSent)
+		}
+		if shards > 1 && r.CrossSent == 0 {
+			t.Fatalf("shards=%d moved no cross-shard traffic; the remote fraction is broken", shards)
+		}
+		if r.CrossClamps != 0 {
+			t.Fatalf("shards=%d clamped %d cross arrivals; lookahead must cover the min cross-shard delay", shards, r.CrossClamps)
+		}
+	}
+}
+
+// TestAdmissionStormSmall runs a scaled-down storm end to end: every client
+// must complete the reliable connect/ack exchange exactly once.
+func TestAdmissionStormSmall(t *testing.T) {
+	cfg := StormConfig{Shards: 4, Clients: 2000, Ramp: 500 * time.Millisecond, Seed: 7}
+	r := RunAdmissionStorm(cfg)
+	if r.Acked != int64(cfg.Clients) {
+		t.Fatalf("acked %d of %d clients", r.Acked, cfg.Clients)
+	}
+	// connect + ack are reliable (always delivered); two unreliable
+	// follow-ups per client mostly survive the 0.2% loss.
+	if r.PacketsDelivered < 3*cfg.Clients {
+		t.Fatalf("delivered %d packets for %d clients; storm traffic missing", r.PacketsDelivered, cfg.Clients)
+	}
+	if r.HeapMB <= 0 {
+		t.Fatal("no heap measurement recorded")
+	}
+	replay := RunAdmissionStorm(cfg)
+	if replay.Digest != r.Digest {
+		t.Fatalf("storm replay digest %x != %x", replay.Digest, r.Digest)
+	}
+}
+
+// TestShardChurnStressRace hammers a running sharded network with the
+// dynamic control surface — fault flips, one-shot drops, stats snapshots,
+// link edits — from racing goroutines. It asserts nothing beyond survival;
+// its job is to give the -race gate (make race) something to bite on.
+func TestShardChurnStressRace(t *testing.T) {
+	sv := clock.NewShardedSim(4, 2*time.Millisecond)
+	n := NewSharded(sv, 99, GroupShardOf(4))
+	n.SetDefaultLink(LinkConfig{Delay: 2 * time.Millisecond, Loss: 0.01})
+	for g := 0; g < 4; g++ {
+		n.Listen(Addr(groupServer(g)+":1"), func(Packet) {})
+	}
+	for g := 0; g < 4; g++ {
+		g := g
+		host := groupClient(g, 0)
+		shard := sv.Shard(g)
+		var tick func()
+		tick = func() {
+			n.Send(Packet{From: Addr(host + ":2"), To: Addr(groupServer((g+1)%4) + ":1"), Payload: []byte("x")})
+			shard.AfterFunc(500*time.Microsecond, tick)
+		}
+		shard.AfterFunc(time.Millisecond, tick)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				host := groupClient(i%4, 0)
+				switch (i + w) % 5 {
+				case 0:
+					n.SetHostDown(host, i%2 == 0)
+				case 1:
+					n.HostDown(host)
+				case 2:
+					n.DropNext(host, groupServer((i+1)%4), 1)
+				case 3:
+					n.Totals()
+				case 4:
+					n.Stats(host, groupServer((i+1)%4))
+				}
+			}
+		}()
+	}
+	for r := 0; r < 40; r++ {
+		sv.RunFor(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		n.SetHostDown(groupClient(g, 0), false)
+	}
+	sv.RunFor(20 * time.Millisecond)
+}

@@ -12,6 +12,26 @@
 // The simulator is driven by a clock.Clock: with a clock.Virtual it forms a
 // discrete-event simulation, with clock.Wall it delays packets in real time.
 //
+// # Sharding
+//
+// New builds the classic single-partition network: one lock, one RNG, one
+// event stream — every existing pinned-seed scenario replays exactly as
+// before. NewSharded partitions the network across a clock.ShardedVirtual:
+// every host is owned by one shard (the shardOf assignment), and all state a
+// Send touches on the hot path — the from→to link, the sender's egress
+// serializer, the shard RNG — lives with the *sending* host's shard, guarded
+// by that shard's own mutex, so traffic between hosts of one shard never
+// takes a cross-shard lock at all. A packet whose destination lives on
+// another shard is handed to the driver's bounded cross-shard mailbox and
+// delivered at the destination's next safe window; the conservative
+// lookahead makes that handoff always land in the destination's future, and
+// cross-shard links are clamped to at least the lookahead of propagation
+// delay to guarantee it. Per-shard RNG streams are derived as
+// seed^hash(shard), so a given seed plus a given shard assignment replays
+// byte-identically regardless of GOMAXPROCS; each shard also folds every
+// delivery into a digest that the determinism tests and the netsim benchmark
+// compare across runs.
+//
 // # Packet buffer ownership
 //
 // Send borrows pkt.Payload only for the duration of the call: the moment
@@ -197,7 +217,9 @@ type LinkStats struct {
 	Delivered int
 	Dropped   int
 	Bytes     int64
-	// Delays collects per-packet one-way delays in milliseconds.
+	// Delays collects per-packet one-way delays in milliseconds in a
+	// fixed-cap reservoir (see SetDelaySampleCap): quantiles stay faithful
+	// while memory stays bounded no matter how many packets the link moves.
 	Delays stats.Sample
 }
 
@@ -231,18 +253,48 @@ type egress struct {
 	nextFree   time.Time
 }
 
-// Network is the simulated network: a set of host-pair links and registered
-// endpoints.
-type Network struct {
+// defaultDelayReservoirCap bounds each link's per-packet delay sample. Below
+// the cap the record is exact — today's scenarios never notice — while a
+// 100k-client storm retains at most this many floats per link.
+const defaultDelayReservoirCap = 8192
+
+// netShard is one partition of the simulated network: every host assigned
+// to it, every link leaving those hosts, their shared egress serializers,
+// the endpoints listening on them, and the shard's own RNG stream. The
+// shard's mutex is the only lock the intra-shard hot path takes, and under
+// the sharded driver it is effectively uncontended: all of the shard's
+// events run on the shard's own worker.
+type netShard struct {
+	id  int
+	clk clock.Clock
+
 	mu        sync.Mutex
-	clk       clock.Clock
-	epoch     time.Time
 	rng       *stats.RNG
-	links     map[string]*link // key host→host
+	links     map[string]*link // key host→host, keyed by sending host's shard
 	egresses  map[string]*egress
-	defaults  LinkConfig
 	endpoints map[Addr]Handler
+	defaults  LinkConfig
+
+	// delivered and digest fold every packet delivery on this shard into a
+	// replay fingerprint: the determinism gate compares them across
+	// GOMAXPROCS settings and reruns.
+	delivered int64
+	digest    uint64
+}
+
+// Network is the simulated network: a set of host-pair links and registered
+// endpoints, partitioned across one or more shards.
+type Network struct {
+	sv       *clock.ShardedVirtual // nil = single-partition mode
+	shardOf  func(string) int      // nil = everything on shard 0
+	shards   []*netShard
+	epoch    time.Time
+	seed     uint64
+	delayCap int
+
 	// DropHandler, when set, observes every dropped unreliable packet.
+	// Set it before traffic starts; it is read without synchronization on
+	// the hot path.
 	DropHandler func(Packet, string)
 	// Sniffer, when set, observes every packet at Send time (before any
 	// loss decision); used for protocol-stack byte accounting.
@@ -250,70 +302,147 @@ type Network struct {
 	// deliveryHist, when set, observes every delivered packet's simulated
 	// send→arrival delay — the wire hop of the end-to-end latency spans.
 	// Taking a *stats.DurationHistogram directly keeps netsim free of an
-	// obs dependency.
-	deliveryHist *stats.DurationHistogram
+	// obs dependency; the histogram is internally atomic, and the pointer
+	// swap is too.
+	deliveryHist atomic.Pointer[stats.DurationHistogram]
 
-	// Fault-injection state (see faults.go). All guarded by mu; windows are
-	// offsets from the network's epoch, so a given seed plus a given fault
-	// schedule replays identically.
-	partitions map[string][]faultWindow
-	outages    map[string][]faultWindow
-	downHosts  map[string]bool
-	oneShots   []*oneShotDrop
+	// Fault-injection state (see faults.go): schedules are global (a
+	// partition spans two shards by nature), guarded by their own lock with
+	// an atomic zero-faults fast path so fault-free traffic never touches
+	// it. Windows are offsets from the network's epoch, so a given seed
+	// plus a given fault schedule replays identically.
+	faults faultState
 }
 
-// New creates a network on the given clock. seed drives all randomness.
+// New creates a single-partition network on the given clock. seed drives
+// all randomness.
 func New(clk clock.Clock, seed uint64) *Network {
-	return &Network{
-		clk:       clk,
-		epoch:     clk.Now(),
-		rng:       stats.NewRNG(seed),
-		links:     map[string]*link{},
-		egresses:  map[string]*egress{},
-		defaults:  DefaultLAN(),
-		endpoints: map[Addr]Handler{},
+	n := &Network{
+		epoch:    clk.Now(),
+		seed:     seed,
+		delayCap: defaultDelayReservoirCap,
+		shards: []*netShard{{
+			clk:       clk,
+			rng:       stats.NewRNG(seed),
+			links:     map[string]*link{},
+			egresses:  map[string]*egress{},
+			endpoints: map[Addr]Handler{},
+			defaults:  DefaultLAN(),
+		}},
+	}
+	return n
+}
+
+// NewSharded creates a network partitioned across the driver's shards.
+// shardOf assigns each host to its owning shard (it must be a pure function
+// of the host name so replays agree); nil assigns everything to shard 0.
+// Shard s draws from the RNG stream seed^hash(s) — with one shard the plain
+// seed is kept, so a 1-shard NewSharded reproduces New exactly.
+func NewSharded(sv *clock.ShardedVirtual, seed uint64, shardOf func(host string) int) *Network {
+	k := sv.Shards()
+	n := &Network{
+		sv:       sv,
+		shardOf:  shardOf,
+		epoch:    sv.Now(),
+		seed:     seed,
+		delayCap: defaultDelayReservoirCap,
+		shards:   make([]*netShard, k),
+	}
+	for i := 0; i < k; i++ {
+		shardSeed := seed
+		if k > 1 {
+			shardSeed = seed ^ mix64(uint64(i)+1)
+		}
+		n.shards[i] = &netShard{
+			id:        i,
+			clk:       sv.Shard(i),
+			rng:       stats.NewRNG(shardSeed),
+			links:     map[string]*link{},
+			egresses:  map[string]*egress{},
+			endpoints: map[Addr]Handler{},
+			defaults:  DefaultLAN(),
+		}
+	}
+	return n
+}
+
+// HashShards returns the standard host→shard assignment: FNV-1a of the host
+// name modulo the shard count. Pure, so replays agree on placement.
+func HashShards(shards int) func(string) int {
+	if shards < 1 {
+		shards = 1
+	}
+	return func(host string) int {
+		return int(fnv64str(host) % uint64(shards))
 	}
 }
+
+// ShardCount reports the number of network partitions.
+func (n *Network) ShardCount() int { return len(n.shards) }
+
+// shardIdx maps a host to its owning shard index.
+func (n *Network) shardIdx(host string) int {
+	if n.shardOf == nil || len(n.shards) == 1 {
+		return 0
+	}
+	i := n.shardOf(host)
+	if i < 0 || i >= len(n.shards) {
+		i = ((i % len(n.shards)) + len(n.shards)) % len(n.shards)
+	}
+	return i
+}
+
+func (n *Network) shardFor(host string) *netShard { return n.shards[n.shardIdx(host)] }
 
 // SetEgressLimit caps a host's total outbound rate: every packet the host
 // sends, to any destination, passes one shared serializer before its link.
 // A zero queueLimit defaults to 500ms of backlog (tail drop beyond it for
 // unreliable packets).
 func (n *Network) SetEgressLimit(host string, bps float64, queueLimit time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	s := n.shardFor(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if bps <= 0 {
-		delete(n.egresses, host)
+		delete(s.egresses, host)
 		return
 	}
 	if queueLimit <= 0 {
 		queueLimit = 500 * time.Millisecond
 	}
-	n.egresses[host] = &egress{rate: bps, queueLimit: queueLimit}
+	s.egresses[host] = &egress{rate: bps, queueLimit: queueLimit}
 }
 
 // SetDeliveryHistogram attaches a histogram observing every delivered
 // packet's simulated send→arrival delay (nil detaches).
 func (n *Network) SetDeliveryHistogram(h *stats.DurationHistogram) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.deliveryHist = h
+	n.deliveryHist.Store(h)
+}
+
+// SetDelaySampleCap overrides the per-link delay reservoir capacity. Call
+// before traffic starts.
+func (n *Network) SetDelaySampleCap(cap int) {
+	if cap > 0 {
+		n.delayCap = cap
+	}
 }
 
 // SetDefaultLink sets the config used for host pairs without an explicit
 // link.
 func (n *Network) SetDefaultLink(cfg LinkConfig) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.defaults = cfg
+	for _, s := range n.shards {
+		s.mu.Lock()
+		s.defaults = cfg
+		s.mu.Unlock()
+	}
 }
 
 // SetLink configures the directed link from one host to another.
 func (n *Network) SetLink(from, to string, cfg LinkConfig) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	l := n.getLinkLocked(from, to)
-	l.cfg = cfg
+	s := n.shardFor(from)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := n.getLinkLocked(s, from, to)
+	l.cfg = n.clampCross(from, to, cfg)
 }
 
 // SetDuplexLink configures both directions identically.
@@ -324,9 +453,10 @@ func (n *Network) SetDuplexLink(a, b string, cfg LinkConfig) {
 
 // AddPhase appends a congestion phase to the directed link.
 func (n *Network) AddPhase(from, to string, p Phase) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	l := n.getLinkLocked(from, to)
+	s := n.shardFor(from)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := n.getLinkLocked(s, from, to)
 	l.phases = append(l.phases, p)
 	sort.SliceStable(l.phases, func(i, j int) bool { return l.phases[i].Start < l.phases[j].Start })
 }
@@ -337,12 +467,32 @@ func (n *Network) AddDuplexPhase(a, b string, p Phase) {
 	n.AddPhase(b, a, p)
 }
 
-func (n *Network) getLinkLocked(from, to string) *link {
+// clampCross enforces the conservative-lookahead contract on cross-shard
+// links: their propagation delay is raised to at least the driver's
+// lookahead, so a cross-shard packet always arrives after the destination
+// shard's current window. Intra-shard links are untouched.
+func (n *Network) clampCross(from, to string, cfg LinkConfig) LinkConfig {
+	if n.sv == nil || n.shardIdx(from) == n.shardIdx(to) {
+		return cfg
+	}
+	if la := n.sv.Lookahead(); cfg.Delay < la {
+		cfg.Delay = la
+	}
+	return cfg
+}
+
+// getLinkLocked returns (creating on demand) the directed link. Caller
+// holds s.mu, where s owns the sending host. A new link splits its RNG from
+// the shard stream — creation order is part of the replay — while the delay
+// reservoir gets an independent stream derived from the link name, so
+// enabling or resizing it can never perturb loss and jitter draws.
+func (n *Network) getLinkLocked(s *netShard, from, to string) *link {
 	key := from + "→" + to
-	l, ok := n.links[key]
+	l, ok := s.links[key]
 	if !ok {
-		l = &link{cfg: n.defaults, rng: n.rng.Split()}
-		n.links[key] = l
+		l = &link{cfg: n.clampCross(from, to, s.defaults), rng: s.rng.Split()}
+		l.stats.Delays.Reservoir(n.delayCap, stats.NewRNG(fnv64str(key)^n.seed))
+		s.links[key] = l
 	}
 	return l
 }
@@ -351,22 +501,74 @@ func (n *Network) getLinkLocked(from, to string) *link {
 // previous handler. A nil handler unregisters. The simulated network can
 // always bind, so the error is always nil.
 func (n *Network) Listen(addr Addr, h Handler) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	s := n.shardFor(addr.Host())
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if h == nil {
-		delete(n.endpoints, addr)
+		delete(s.endpoints, addr)
 		return nil
 	}
-	n.endpoints[addr] = h
+	s.endpoints[addr] = h
 	return nil
 }
 
-// Stats returns a snapshot of the directed link's counters.
+// Stats returns a snapshot of the directed link's counters. The delay
+// sample is deep-copied, so the snapshot can be sorted and queried while
+// the simulation keeps running.
 func (n *Network) Stats(from, to string) LinkStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	l := n.getLinkLocked(from, to)
-	return l.stats
+	s := n.shardFor(from)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := n.getLinkLocked(s, from, to)
+	st := l.stats
+	st.Delays = l.stats.Delays.Clone()
+	return st
+}
+
+// Totals aggregates sent/delivered/dropped/bytes over every link in every
+// shard — the harness-facing roll-up.
+func (n *Network) Totals() (sent, delivered, dropped int, bytes int64) {
+	for _, s := range n.shards {
+		s.mu.Lock()
+		for _, l := range s.links {
+			sent += l.stats.Sent
+			delivered += l.stats.Delivered
+			dropped += l.stats.Dropped
+			bytes += l.stats.Bytes
+		}
+		s.mu.Unlock()
+	}
+	return
+}
+
+// ShardDelivery is one shard's delivery fingerprint.
+type ShardDelivery struct {
+	Shard     int
+	Delivered int64
+	Digest    uint64
+}
+
+// ShardDeliveries snapshots every shard's delivered-packet count and replay
+// digest, in shard order.
+func (n *Network) ShardDeliveries() []ShardDelivery {
+	out := make([]ShardDelivery, len(n.shards))
+	for i, s := range n.shards {
+		s.mu.Lock()
+		out[i] = ShardDelivery{Shard: i, Delivered: s.delivered, Digest: s.digest}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// DeliveryDigest folds the per-shard digests (in shard order) into one
+// replay fingerprint for the whole network.
+func (n *Network) DeliveryDigest() uint64 {
+	d := uint64(fnvOffset)
+	for _, sd := range n.ShardDeliveries() {
+		d = fnvMix(d, sd.Digest)
+		d = fnvMix(d, uint64(sd.Delivered))
+	}
+	return d
 }
 
 // activePhase returns the multipliers in effect at offset t.
@@ -387,59 +589,15 @@ func (l *link) activePhase(t time.Duration) (lossF float64, extraD, extraJ time.
 	return lossF, extraD, extraJ, bwF
 }
 
-// Send injects a packet. Delivery (or drop) is decided immediately and the
-// handler is invoked via the clock at the computed arrival time. Sending to
-// an address with no listener silently drops at arrival time. Only
-// fault-injected drops (partitions, outages, downed hosts, one-shot drops)
-// return an error; stochastic loss and tail drop return nil.
-func (n *Network) Send(pkt Packet) error {
-	pkt.SentAt = n.clk.Now()
-	if sn := n.Sniffer; sn != nil {
-		sn(pkt)
-	}
-	n.mu.Lock()
-	now := pkt.SentAt
-	offset := now.Sub(n.epoch)
-	l := n.getLinkLocked(pkt.From.Host(), pkt.To.Host())
-	l.stats.Sent++
-	l.stats.Bytes += int64(pkt.Size())
-
-	// Injected faults kill the packet regardless of reliability: a
-	// partitioned or downed host drops TCP segments just as surely as UDP
-	// datagrams.
-	if cause, faulted := n.faultLocked(pkt, offset); faulted {
-		l.stats.Dropped++
-		dh := n.DropHandler
-		n.mu.Unlock()
-		if dh != nil {
-			dh(pkt, cause.Error())
-		}
-		// %w keeps the typed cause (ErrHostDown, ErrPartitioned, ...)
-		// reachable through errors.Is.
-		return fmt.Errorf("netsim: fault drop %s→%s: %w", pkt.From, pkt.To, cause)
-	}
-
+// linkPlanLocked runs one packet through the link's queueing, loss and
+// delay machinery: egress and link serialization, tail drop, stochastic and
+// bursty loss, jitter, reliable-path retransmission and ordering. It
+// returns the arrival time, an optional duplicate arrival, and a drop
+// cause ("" = delivered). Caller holds the sending shard's mutex; all
+// mutated state (egress serializer, link serializer, burst state, RNG,
+// stats) belongs to that shard.
+func (n *Network) linkPlanLocked(s *netShard, l *link, pkt *Packet, now time.Time, offset time.Duration, egressStart time.Time) (arrival, dupArrival time.Time, dropCause string) {
 	lossF, extraD, extraJ, bwF := l.activePhase(offset)
-
-	// Host egress: one shared serializer for everything the host sends.
-	egressStart := now
-	if eg, ok := n.egresses[pkt.From.Host()]; ok {
-		egTx := time.Duration(float64(pkt.Size()*8) / eg.rate * float64(time.Second))
-		if eg.nextFree.After(egressStart) {
-			egressStart = eg.nextFree
-		}
-		if egressStart.Sub(now) > eg.queueLimit && !pkt.Reliable {
-			l.stats.Dropped++
-			dh := n.DropHandler
-			n.mu.Unlock()
-			if dh != nil {
-				dh(pkt, "egress overflow")
-			}
-			return nil
-		}
-		eg.nextFree = egressStart.Add(egTx)
-		egressStart = eg.nextFree
-	}
 
 	// Serialization: the link transmits one packet at a time.
 	bw := l.cfg.Bandwidth * bwF
@@ -456,14 +614,7 @@ func (n *Network) Send(pkt Packet) error {
 		queueLimit = 500 * time.Millisecond
 	}
 	if depart.Sub(now) > queueLimit && !pkt.Reliable {
-		// Tail drop: the queue is full.
-		l.stats.Dropped++
-		dh := n.DropHandler
-		n.mu.Unlock()
-		if dh != nil {
-			dh(pkt, "queue overflow")
-		}
-		return nil
+		return time.Time{}, time.Time{}, "queue overflow"
 	}
 	l.nextFree = depart.Add(txTime)
 
@@ -496,15 +647,9 @@ func (n *Network) Send(pkt Packet) error {
 
 	lost := ploss > 0 && l.rng.Bool(ploss)
 	if lost && !pkt.Reliable {
-		l.stats.Dropped++
-		dh := n.DropHandler
-		n.mu.Unlock()
-		if dh != nil {
-			dh(pkt, "loss")
-		}
-		return nil
+		return time.Time{}, time.Time{}, "loss"
 	}
-	arrival := l.nextFree.Add(delay)
+	arrival = l.nextFree.Add(delay)
 	if lost && pkt.Reliable {
 		// Reliable path: the loss becomes a retransmission, costing one
 		// round trip plus a retransmission of the packet. Repeated losses
@@ -523,18 +668,113 @@ func (n *Network) Send(pkt Packet) error {
 	}
 	l.stats.Delivered++
 	l.stats.Delays.AddDuration(arrival.Sub(now))
-	if n.deliveryHist != nil {
-		n.deliveryHist.Observe(arrival.Sub(now))
+	if h := n.deliveryHist.Load(); h != nil {
+		h.Observe(arrival.Sub(now))
 	}
-	deliverCopies := 1
 	if !pkt.Reliable && l.cfg.Dup > 0 && l.rng.Bool(l.cfg.Dup) {
-		deliverCopies = 2
+		dupArrival = arrival.Add(time.Millisecond + time.Duration(l.rng.Float64()*float64(jitterBound+time.Millisecond)))
 	}
-	var dupDelay time.Duration
-	if deliverCopies == 2 {
-		dupDelay = time.Millisecond + time.Duration(l.rng.Float64()*float64(jitterBound+time.Millisecond))
+	return arrival, dupArrival, ""
+}
+
+// scheduleDelivery arranges for the packet (whose payload is already a
+// pooled copy shared via the refcount) to be handed to the destination's
+// endpoint at the arrival instant: directly on the owning shard's clock
+// when source and destination share a shard, through the driver's
+// cross-shard mailbox otherwise.
+func (n *Network) scheduleDelivery(src int, pkt Packet, now, arrival time.Time, pb *buffer.Buf, remaining *int32) {
+	dst := n.shardIdx(pkt.To.Host())
+	ds := n.shards[dst]
+	deliver := func() {
+		ds.mu.Lock()
+		h := ds.endpoints[pkt.To]
+		ds.delivered++
+		ds.digest = deliveryFold(ds.digest, pkt.To, ds.clk.Now().Sub(n.epoch), len(pkt.Payload))
+		ds.mu.Unlock()
+		if h != nil {
+			h(pkt)
+		}
+		if atomic.AddInt32(remaining, -1) == 0 {
+			payloadPool.Put(pb)
+		}
 	}
-	n.mu.Unlock()
+	if n.sv == nil || src == dst {
+		n.shards[src].clk.AfterFunc(arrival.Sub(now), deliver)
+	} else {
+		n.sv.ScheduleCross(src, dst, arrival, deliver)
+	}
+}
+
+// Send injects a packet. Delivery (or drop) is decided immediately and the
+// handler is invoked via the clock at the computed arrival time. Sending to
+// an address with no listener silently drops at arrival time. Only
+// fault-injected drops (partitions, outages, downed hosts, one-shot drops)
+// return an error; stochastic loss and tail drop return nil.
+//
+// In sharded mode, Send must be called from the sending host's shard — the
+// natural discipline, since simulated traffic originates from timers on the
+// owning shard's clock — or from setup code before the driver runs.
+func (n *Network) Send(pkt Packet) error {
+	src := n.shardIdx(pkt.From.Host())
+	s := n.shards[src]
+	pkt.SentAt = s.clk.Now()
+	if sn := n.Sniffer; sn != nil {
+		sn(pkt)
+	}
+	now := pkt.SentAt
+	offset := now.Sub(n.epoch)
+
+	s.mu.Lock()
+	l := n.getLinkLocked(s, pkt.From.Host(), pkt.To.Host())
+	l.stats.Sent++
+	l.stats.Bytes += int64(pkt.Size())
+
+	// Injected faults kill the packet regardless of reliability: a
+	// partitioned or downed host drops TCP segments just as surely as UDP
+	// datagrams.
+	if cause, faulted := n.faults.check(pkt, offset); faulted {
+		l.stats.Dropped++
+		dh := n.DropHandler
+		s.mu.Unlock()
+		if dh != nil {
+			dh(pkt, cause.Error())
+		}
+		// %w keeps the typed cause (ErrHostDown, ErrPartitioned, ...)
+		// reachable through errors.Is.
+		return fmt.Errorf("netsim: fault drop %s→%s: %w", pkt.From, pkt.To, cause)
+	}
+
+	// Host egress: one shared serializer for everything the host sends.
+	egressStart := now
+	if eg, ok := s.egresses[pkt.From.Host()]; ok {
+		egTx := time.Duration(float64(pkt.Size()*8) / eg.rate * float64(time.Second))
+		if eg.nextFree.After(egressStart) {
+			egressStart = eg.nextFree
+		}
+		if egressStart.Sub(now) > eg.queueLimit && !pkt.Reliable {
+			l.stats.Dropped++
+			dh := n.DropHandler
+			s.mu.Unlock()
+			if dh != nil {
+				dh(pkt, "egress overflow")
+			}
+			return nil
+		}
+		eg.nextFree = egressStart.Add(egTx)
+		egressStart = eg.nextFree
+	}
+
+	arrival, dupArrival, dropCause := n.linkPlanLocked(s, l, &pkt, now, offset, egressStart)
+	if dropCause != "" {
+		l.stats.Dropped++
+		dh := n.DropHandler
+		s.mu.Unlock()
+		if dh != nil {
+			dh(pkt, dropCause)
+		}
+		return nil
+	}
+	s.mu.Unlock()
 
 	// Delivery is deferred (and possibly duplicated), but the caller owns
 	// pkt.Payload again as soon as Send returns: copy-on-enqueue into a
@@ -542,27 +782,20 @@ func (n *Network) Send(pkt Packet) error {
 	pb := payloadPool.Get(len(pkt.Payload))
 	copy(pb.B, pkt.Payload)
 	pkt.Payload = pb.B
-	remaining := int32(deliverCopies)
-	deliver := func() {
-		n.mu.Lock()
-		h := n.endpoints[pkt.To]
-		n.mu.Unlock()
-		if h != nil {
-			h(pkt)
-		}
-		if atomic.AddInt32(&remaining, -1) == 0 {
-			payloadPool.Put(pb)
-		}
+	remaining := new(int32)
+	*remaining = 1
+	if !dupArrival.IsZero() {
+		*remaining = 2
 	}
-	n.clk.AfterFunc(arrival.Sub(now), deliver)
-	if deliverCopies == 2 {
-		n.clk.AfterFunc(arrival.Sub(now)+dupDelay, deliver)
+	n.scheduleDelivery(src, pkt, now, arrival, pb, remaining)
+	if !dupArrival.IsZero() {
+		n.scheduleDelivery(src, pkt, now, dupArrival, pb, remaining)
 	}
 	return nil
 }
 
 // multiDrop records one destination's drop decision so the DropHandler can
-// run after the network lock is released.
+// run after the shard lock is released.
 type multiDrop struct {
 	to    Addr
 	cause string
@@ -576,12 +809,16 @@ type multiDrop struct {
 // while each destination's link still makes its own serialization, loss,
 // jitter and fault decisions. Per-destination failures (faults, tail drops,
 // stochastic loss) never fail the batch; like stochastic loss in Send, they
-// return nil.
+// return nil. Every link leaving the sending host lives on the sending
+// host's shard, so the whole fan-out plan is computed under that single
+// shard lock; deliveries then spread to each destination's own shard.
 func (n *Network) SendMulti(pkt Packet, tos []Addr) error {
 	if len(tos) == 0 {
 		return nil
 	}
-	pkt.SentAt = n.clk.Now()
+	src := n.shardIdx(pkt.From.Host())
+	s := n.shards[src]
+	pkt.SentAt = s.clk.Now()
 	if sn := n.Sniffer; sn != nil {
 		sn(pkt)
 	}
@@ -593,13 +830,13 @@ func (n *Network) SendMulti(pkt Packet, tos []Addr) error {
 	}
 	arrivals := make([]arrivalPlan, 0, len(tos))
 	var drops []multiDrop
-	n.mu.Lock()
+	s.mu.Lock()
 	offset := now.Sub(n.epoch)
 
 	// One egress serialization for the whole fan-out.
 	egressStart := now
 	egressOverflow := false
-	if eg, ok := n.egresses[pkt.From.Host()]; ok {
+	if eg, ok := s.egresses[pkt.From.Host()]; ok {
 		egTx := time.Duration(float64(pkt.Size()*8) / eg.rate * float64(time.Second))
 		if eg.nextFree.After(egressStart) {
 			egressStart = eg.nextFree
@@ -615,7 +852,7 @@ func (n *Network) SendMulti(pkt Packet, tos []Addr) error {
 	for _, to := range tos {
 		p := pkt
 		p.To = to
-		l := n.getLinkLocked(p.From.Host(), to.Host())
+		l := n.getLinkLocked(s, p.From.Host(), to.Host())
 		l.stats.Sent++
 		l.stats.Bytes += int64(p.Size())
 		if egressOverflow {
@@ -623,90 +860,20 @@ func (n *Network) SendMulti(pkt Packet, tos []Addr) error {
 			drops = append(drops, multiDrop{to: to, cause: "egress overflow"})
 			continue
 		}
-		if cause, faulted := n.faultLocked(p, offset); faulted {
+		if cause, faulted := n.faults.check(p, offset); faulted {
 			l.stats.Dropped++
 			drops = append(drops, multiDrop{to: to, cause: cause.Error()})
 			continue
 		}
-		lossF, extraD, extraJ, bwF := l.activePhase(offset)
-
-		bw := l.cfg.Bandwidth * bwF
-		var txTime time.Duration
-		if bw > 0 {
-			txTime = time.Duration(float64(p.Size()*8) / bw * float64(time.Second))
-		}
-		depart := egressStart
-		if l.nextFree.After(depart) {
-			depart = l.nextFree
-		}
-		queueLimit := l.cfg.QueueLimit
-		if queueLimit == 0 {
-			queueLimit = 500 * time.Millisecond
-		}
-		if depart.Sub(now) > queueLimit && !p.Reliable {
+		arrival, dupAt, dropCause := n.linkPlanLocked(s, l, &p, now, offset, egressStart)
+		if dropCause != "" {
 			l.stats.Dropped++
-			drops = append(drops, multiDrop{to: to, cause: "queue overflow"})
+			drops = append(drops, multiDrop{to: to, cause: dropCause})
 			continue
 		}
-		l.nextFree = depart.Add(txTime)
-
-		ploss := l.cfg.Loss * lossF
-		if l.cfg.Burst != nil {
-			b := l.cfg.Burst
-			if l.burstBad {
-				if l.rng.Bool(b.PBadToGood) {
-					l.burstBad = false
-				}
-			} else if l.rng.Bool(b.PGoodToBad) {
-				l.burstBad = true
-			}
-			if l.burstBad {
-				ploss = maxf(ploss, b.PBad*lossF)
-			} else {
-				ploss = maxf(ploss, b.PGood*lossF)
-			}
-		}
-		if ploss > 0.95 {
-			ploss = 0.95
-		}
-
-		delay := l.cfg.Delay + extraD
-		jitterBound := l.cfg.Jitter + extraJ
-		if jitterBound > 0 {
-			delay += time.Duration(l.rng.Float64() * float64(jitterBound))
-		}
-
-		lost := ploss > 0 && l.rng.Bool(ploss)
-		if lost && !p.Reliable {
-			l.stats.Dropped++
-			drops = append(drops, multiDrop{to: to, cause: "loss"})
-			continue
-		}
-		arrival := l.nextFree.Add(delay)
-		if lost && p.Reliable {
-			for lost {
-				arrival = arrival.Add(2*(l.cfg.Delay+extraD) + txTime)
-				lost = l.rng.Bool(ploss)
-			}
-		}
-		if p.Reliable {
-			if !arrival.After(l.lastReliableArrival) {
-				arrival = l.lastReliableArrival.Add(time.Microsecond)
-			}
-			l.lastReliableArrival = arrival
-		}
-		l.stats.Delivered++
-		l.stats.Delays.AddDuration(arrival.Sub(now))
-		if n.deliveryHist != nil {
-			n.deliveryHist.Observe(arrival.Sub(now))
-		}
-		plan := arrivalPlan{to: to, at: arrival}
-		if !p.Reliable && l.cfg.Dup > 0 && l.rng.Bool(l.cfg.Dup) {
-			plan.dupAt = arrival.Add(time.Millisecond + time.Duration(l.rng.Float64()*float64(jitterBound+time.Millisecond)))
-		}
-		arrivals = append(arrivals, plan)
+		arrivals = append(arrivals, arrivalPlan{to: to, at: arrival, dupAt: dupAt})
 	}
-	n.mu.Unlock()
+	s.mu.Unlock()
 
 	if dh := n.DropHandler; dh != nil {
 		for _, d := range drops {
@@ -724,31 +891,20 @@ func (n *Network) SendMulti(pkt Packet, tos []Addr) error {
 	// its dup deliveries.
 	pb := payloadPool.Get(len(pkt.Payload))
 	copy(pb.B, pkt.Payload)
-	remaining := int32(0)
+	remaining := new(int32)
 	for _, a := range arrivals {
-		remaining++
+		*remaining++
 		if !a.dupAt.IsZero() {
-			remaining++
+			*remaining++
 		}
 	}
 	for _, a := range arrivals {
 		p := pkt
 		p.To = a.to
 		p.Payload = pb.B
-		deliver := func() {
-			n.mu.Lock()
-			h := n.endpoints[p.To]
-			n.mu.Unlock()
-			if h != nil {
-				h(p)
-			}
-			if atomic.AddInt32(&remaining, -1) == 0 {
-				payloadPool.Put(pb)
-			}
-		}
-		n.clk.AfterFunc(a.at.Sub(now), deliver)
+		n.scheduleDelivery(src, p, now, a.at, pb, remaining)
 		if !a.dupAt.IsZero() {
-			n.clk.AfterFunc(a.dupAt.Sub(now), deliver)
+			n.scheduleDelivery(src, p, now, a.dupAt, pb, remaining)
 		}
 	}
 	return nil
@@ -759,4 +915,47 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// FNV-1a folding for the replay digests.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func fnv64str(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// deliveryFold mixes one delivery event into a shard digest.
+func deliveryFold(h uint64, to Addr, at time.Duration, size int) uint64 {
+	if h == 0 {
+		h = fnvOffset
+	}
+	h = fnvMix(h, fnv64str(string(to)))
+	h = fnvMix(h, uint64(at))
+	h = fnvMix(h, uint64(size))
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer, used to derive per-shard seeds.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

@@ -446,3 +446,76 @@ func TestHighWaterConcurrent(t *testing.T) {
 		t.Fatal("mark regressed")
 	}
 }
+
+// TestReservoirQuantileFidelity pins the reservoir-mode contract the netsim
+// link-delay records rely on: memory stays at the cap while quantile
+// estimates track the exact stream closely. 200k observations from a skewed
+// (exponential-ish) distribution are fed to an exact sample and a 4096-cap
+// reservoir; p50/p90/p99 must agree within a few percent of the spread.
+func TestReservoirQuantileFidelity(t *testing.T) {
+	const n = 200_000
+	const cap = 4096
+	src := NewRNG(42)
+	var exact, res Sample
+	res.Reservoir(cap, NewRNG(7))
+	for i := 0; i < n; i++ {
+		x := src.Exp(100) // mean-100 exponential: long right tail
+		exact.Add(x)
+		res.Add(x)
+	}
+	if res.Retained() != cap {
+		t.Fatalf("reservoir retained %d, want cap %d", res.Retained(), cap)
+	}
+	if res.N() != n {
+		t.Fatalf("reservoir N() = %d, want %d offered", res.N(), n)
+	}
+	// A reservoir quantile is a random variable; the right fidelity claim is
+	// in quantile space: the estimate of pX must land between the exact
+	// values of nearby quantiles (±2 quantile points around the target,
+	// ~3 standard errors at cap 4096).
+	for _, p := range []float64{50, 90, 99} {
+		lo, hi := exact.Percentile(p-2), exact.Percentile(p+0.7)
+		if r := res.Percentile(p); r < lo || r > hi {
+			t.Fatalf("p%.0f: reservoir %.2f outside exact [p%.1f=%.2f, p%.1f=%.2f]",
+				p, r, p-2, lo, p+0.7, hi)
+		}
+	}
+}
+
+// TestReservoirDeterministic: same seed, same stream ⇒ same retained set.
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() []float64 {
+		var s Sample
+		s.Reservoir(64, NewRNG(99))
+		src := NewRNG(5)
+		for i := 0; i < 10_000; i++ {
+			s.Add(src.Float64())
+		}
+		return s.Values()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retained sets diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSampleBelowCapIsExact: a reservoir that never overflows behaves
+// exactly like a plain sample.
+func TestSampleBelowCapIsExact(t *testing.T) {
+	var plain, res Sample
+	res.Reservoir(100, NewRNG(1))
+	for i := 10; i > 0; i-- {
+		plain.Add(float64(i))
+		res.Add(float64(i))
+	}
+	if plain.Median() != res.Median() || plain.Min() != res.Min() || plain.Max() != res.Max() {
+		t.Fatal("under-cap reservoir diverged from exact sample")
+	}
+	cl := res.Clone()
+	res.Add(11)
+	if cl.N() != 10 || cl.Max() != 10 {
+		t.Fatalf("clone not independent: N=%d max=%v", cl.N(), cl.Max())
+	}
+}
